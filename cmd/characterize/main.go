@@ -1,0 +1,31 @@
+// Command characterize runs the §II real-system characterization suite:
+// the study-scale table, margin distributions, module-factor analyses,
+// the Table II settings, and the stress-test error rates (Table I,
+// Figs 2-4, Table II, Fig 6).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "population seed")
+	exp := flag.String("exp", "", "one of tab1, fig2, fig3, fig4, tab2, fig6 (default: all)")
+	flag.Parse()
+
+	s := experiments.New(experiments.Options{Seed: *seed})
+	ids := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig6"}
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(e.Run(s).String())
+	}
+}

@@ -1,0 +1,32 @@
+// Command emulate runs the real-system experiments: the margin-exploiting
+// speedups of Fig 5 and the silicon corroboration of Fig 16, which checks
+// the simulated Hetero-DMR benefit against the emulation formula
+// exec@fast - wr_time@fast + wr_time@slow.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "one benchmark per suite, shorter runs")
+	exp := flag.String("exp", "", "one of fig5, fig16 (default: both)")
+	flag.Parse()
+
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	ids := []string{"fig5", "fig16"}
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(e.Run(s).String())
+	}
+}

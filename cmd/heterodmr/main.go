@@ -1,0 +1,75 @@
+// Command heterodmr is the umbrella CLI for the reproduction: it runs any
+// table or figure of the paper by id, or all of them in paper order.
+//
+// Usage:
+//
+//	heterodmr -list
+//	heterodmr -exp fig12 [-seed 1] [-quick]
+//	heterodmr -all [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment id (see -list)")
+		all       = flag.Bool("all", false, "run every experiment in paper order")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablation studies")
+		list      = flag.Bool("list", false, "list experiment ids")
+		seed      = flag.Uint64("seed", 1, "seed for all synthetic inputs")
+		quick     = flag.Bool("quick", false, "reduced scale (one benchmark per suite, fewer trials)")
+		markdown  = flag.Bool("markdown", false, "render tables as markdown")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Ablations() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	render := func(t interface {
+		String() string
+		Markdown() string
+	}) {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	switch {
+	case *all:
+		for _, t := range s.RunAll() {
+			render(t)
+		}
+	case *ablations:
+		for _, e := range experiments.Ablations() {
+			render(e.Run(s))
+		}
+	case *exp != "":
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			if e2, err2 := experiments.AblationByID(*exp); err2 == nil {
+				render(e2.Run(s))
+				return
+			}
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		render(e.Run(s))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

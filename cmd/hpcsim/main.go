@@ -1,0 +1,32 @@
+// Command hpcsim runs the system-wide evaluation (§IV-C): the Fig 1 job
+// memory-utilization analysis and the Slurm-style cluster simulation of
+// Fig 17 (execution time, queuing delay, turnaround; margin-aware vs
+// default scheduling; +17%-nodes control).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "reduced trace scale")
+	exp := flag.String("exp", "", "one of fig1, fig17 (default: both)")
+	flag.Parse()
+
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	ids := []string{"fig1", "fig17"}
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(e.Run(s).String())
+	}
+}

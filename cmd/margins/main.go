@@ -1,0 +1,23 @@
+// Command margins runs the §III-D Monte-Carlo estimation of channel- and
+// node-level memory frequency margins (Fig 11) and prints the node groups
+// the margin-aware scheduler uses.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "fewer Monte-Carlo trials")
+	flag.Parse()
+
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	fmt.Println(s.Fig11().String())
+	g := s.NodeMarginGroups()
+	fmt.Printf("scheduler node groups: 0.8GT/s %.1f%%  0.6GT/s %.1f%%  below %.1f%%\n",
+		100*g.At800, 100*g.At600, 100*g.Below)
+}

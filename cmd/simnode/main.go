@@ -1,0 +1,32 @@
+// Command simnode runs the single-node evaluation (§IV-A): normalized
+// performance (Fig 12), energy per instruction (Fig 13), DRAM access
+// overhead (Fig 14), bandwidth utilization (Fig 15), and the simulated
+// configuration dump (Tables III-IV).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "one benchmark per suite, shorter runs")
+	exp := flag.String("exp", "", "one of fig12, fig13, fig14, fig15, config (default: all)")
+	flag.Parse()
+
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	ids := []string{"fig12", "fig13", "fig14", "fig15", "config"}
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(e.Run(s).String())
+	}
+}

@@ -1,0 +1,69 @@
+// Characterization example: drive the virtual test bench (§II) over the
+// study population like the paper's measurement campaign — measure every
+// module's frequency margin at 23°C, re-measure under the conservative
+// latency-margin combination, then stress-test the population at its
+// highest bootable rates at 23°C and in the 45°C thermal chamber.
+//
+// Run with: go run ./examples/characterization
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dramspec"
+	"repro/internal/margin"
+	"repro/internal/stats"
+)
+
+func main() {
+	pop := margin.GeneratePopulation(42)
+	bench := margin.NewBench(23, 42)
+
+	var margins, relative []float64
+	same := 0
+	for i := range pop.MajorBrands() {
+		m := &pop.MajorBrands()[i]
+		g := bench.MeasureMargin(m, false)
+		margins = append(margins, float64(g))
+		relative = append(relative, float64(g)/float64(m.SpecRate))
+		if bench.MeasureMargin(m, true) == g {
+			same++ // latency margin leaves the frequency margin unchanged
+		}
+	}
+	sm := stats.Summarize(margins)
+	fmt.Printf("brands A-C (%d modules): margin %s\n", sm.N, sm)
+	fmt.Printf("relative margin: %.1f%% of spec (paper: 27%%)\n", 100*stats.Mean(relative))
+	fmt.Printf("modules with unchanged margin under latency margins: %d/%d\n", same, sm.N)
+
+	// Boot-time margin profiling (§III-E): a short profile is fast and
+	// may overestimate by a BIOS step — safe under Hetero-DMR because
+	// profiles are used for performance only, never reliability.
+	prof := margin.NewProfiler(bench, 1, 99)
+	node := prof.ProfileNode(pop.MajorBrands()[:8], 2)
+	fmt.Printf("profiled node: channel margins %v -> node margin %v\n",
+		node.ChannelMargins, node.NodeMargin)
+
+	// Stress tests at the highest bootable rate, like Fig 6.
+	for _, ambient := range []int{23, 45} {
+		hot := margin.NewBench(ambient, 7)
+		var ce, ue uint64
+		noBoot := 0
+		tested := 0
+		for i := range pop.MajorBrands() {
+			m := &pop.MajorBrands()[i]
+			if ambient >= 45 && m.Condition == margin.ConditionInProduction {
+				continue // the borrowed modules skip the thermal chamber
+			}
+			tested++
+			r := hot.StressTest(m, dramspec.SettingFreqLatMargin, false)
+			if !r.Booted {
+				noBoot++
+				continue
+			}
+			ce += r.CorrectedErrors
+			ue += r.UncorrectedErrors
+		}
+		fmt.Printf("%d°C ambient (DIMM ~%.0f°C active): %d modules, CE=%d UE=%d, no-boot=%d\n",
+			ambient, margin.DIMMTemperature(ambient, true), tested, ce, ue, noBoot)
+	}
+}

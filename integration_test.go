@@ -1,0 +1,82 @@
+// Package repro's integration tests check repository-level coherence: the
+// experiment registry matches DESIGN.md's per-experiment index, the
+// umbrella suite runs end to end at reduced scale, and the headline shape
+// claims hold.
+package repro
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestRegistryMatchesDesignDoc ensures every experiment id in the
+// registry appears in DESIGN.md's per-experiment index and vice versa.
+func TestRegistryMatchesDesignDoc(t *testing.T) {
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(design)
+	for _, e := range experiments.Registry() {
+		if e.ID == "config" {
+			continue // listed as tab3/tab4 in the doc
+		}
+		if !strings.Contains(doc, "`"+e.ID+"`") {
+			t.Errorf("experiment %s missing from DESIGN.md's index", e.ID)
+		}
+	}
+}
+
+// TestBenchmarksCoverRegistry ensures bench_test.go has one benchmark per
+// registry entry.
+func TestBenchmarksCoverRegistry(t *testing.T) {
+	src, err := os.ReadFile("bench_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(src)
+	for _, e := range experiments.Registry() {
+		if !strings.Contains(body, `"`+e.ID+`"`) {
+			t.Errorf("no benchmark regenerates %s", e.ID)
+		}
+	}
+}
+
+// TestEndToEndQuickSuite runs the characterization slice of the full
+// suite end to end (the node-level figures are covered by their own
+// package tests; running all of them here would double CI time).
+func TestEndToEndQuickSuite(t *testing.T) {
+	s := experiments.New(experiments.Options{Seed: 2, Quick: true})
+	for _, id := range []string{"tab1", "fig1", "fig2", "fig3", "fig4", "tab2", "fig6", "fig11", "config"} {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := e.Run(s)
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+		if tab.String() == "" || tab.Markdown() == "" {
+			t.Errorf("%s renders empty", id)
+		}
+	}
+}
+
+// TestExperimentsFileFresh ensures the committed snapshot of the full run
+// exists and contains every figure (regenerate with cmd/heterodmr -all).
+func TestExperimentsFileFresh(t *testing.T) {
+	raw, err := os.ReadFile("experiments_full.txt")
+	if err != nil {
+		t.Skip("experiments_full.txt not generated yet")
+	}
+	body := string(raw)
+	for _, want := range []string{"Table I", "Fig 1 ", "Fig 2", "Fig 5", "Fig 6",
+		"Fig 11", "Fig 12", "Fig 13", "Fig 14", "Fig 15", "Fig 16", "Fig 17"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("snapshot missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package cache implements the set-associative write-back caches of the
+// simulated node (Table IV of the paper): split L1, per-core L2, shared
+// L3, LRU replacement, stride and next-line prefetchers with auto
+// turn-off, and the LLC dirty-block cleaning hook Hetero-DMR's enlarged
+// write batches rely on (§III-E: clean the least-recently-used dirty
+// blocks first, as they are unlikely to be re-written before eviction).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// line is one cache line's metadata; data contents are not modelled.
+type line struct {
+	tag        uint64 // block address
+	valid      bool
+	dirty      bool
+	prefetched bool   // brought in by a prefetcher and not yet demanded
+	lastUse    uint64 // LRU timestamp
+}
+
+// Config sizes a cache level.
+type Config struct {
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	LatencyPS  int64 // access latency charged on hits at this level
+}
+
+// Cache is one level of set-associative write-back cache.
+// It is not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	nsets int
+	tick  uint64
+
+	// Stats.
+	Hits, Misses   uint64
+	Writebacks     uint64
+	PrefetchFills  uint64
+	PrefetchUseful uint64
+	Cleans         uint64
+}
+
+// New builds a cache level. It panics on invalid geometry so
+// misconfiguration fails fast at node construction.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	if blocks%cfg.Ways != 0 {
+		panic(fmt.Sprintf("cache: %d blocks not divisible by %d ways", blocks, cfg.Ways))
+	}
+	nsets := blocks / cfg.Ways
+	if nsets == 0 {
+		panic("cache: zero sets")
+	}
+	c := &Cache{cfg: cfg, nsets: nsets}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(block uint64) int {
+	// Hash the upper bits in lightly so strided streams spread across
+	// sets the way physical indexing does. Set counts need not be powers
+	// of two (the paper's 28MB/22MB L3 sizes are not), so index by modulo.
+	h := block ^ (block >> uint(bits.Len(uint(c.nsets))))
+	return int(h % uint64(c.nsets))
+}
+
+// Block converts an address to its block address.
+func (c *Cache) Block(addr uint64) uint64 { return addr / uint64(c.cfg.BlockBytes) }
+
+// Lookup probes the cache without changing replacement or dirty state.
+func (c *Cache) Lookup(addr uint64) bool {
+	block := c.Block(addr)
+	for i := range c.sets[c.index(block)] {
+		l := &c.sets[c.index(block)][i]
+		if l.valid && l.tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access. On a hit it updates LRU (and dirtiness
+// for writes) and returns hit=true. On a miss it returns hit=false and
+// does NOT allocate; the caller fetches the block from the next level and
+// then calls Fill.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.tick++
+	block := c.Block(addr)
+	set := c.sets[c.index(block)]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == block {
+			l.lastUse = c.tick
+			if write {
+				l.dirty = true
+			}
+			if l.prefetched {
+				l.prefetched = false
+				c.PrefetchUseful++
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Fill allocates the block after a miss (demand or prefetch), evicting the
+// LRU line of the set if necessary. It returns the evicted block's address
+// and whether that block was dirty (needing writeback). For a write miss
+// the filled line starts dirty (write-allocate).
+func (c *Cache) Fill(addr uint64, write, prefetch bool) (victim uint64, dirtyVictim bool) {
+	c.tick++
+	block := c.Block(addr)
+	set := c.sets[c.index(block)]
+	// Already present (e.g. racing prefetch): just update.
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == block {
+			if write {
+				l.dirty = true
+			}
+			l.lastUse = c.tick
+			return 0, false
+		}
+	}
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].lastUse < set[vi].lastUse {
+			vi = i
+		}
+	}
+	v := set[vi]
+	set[vi] = line{tag: block, valid: true, dirty: write, prefetched: prefetch, lastUse: c.tick}
+	if prefetch {
+		c.PrefetchFills++
+	}
+	if v.valid && v.dirty {
+		c.Writebacks++
+		return v.tag * uint64(c.cfg.BlockBytes), true
+	}
+	return 0, false
+}
+
+// Invalidate drops a block if present, returning whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
+	block := c.Block(addr)
+	set := c.sets[c.index(block)]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == block {
+			d := l.dirty
+			*l = line{}
+			return d
+		}
+	}
+	return false
+}
+
+// DirtyCount returns the number of dirty lines currently resident.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CleanDirty implements §III-E's proactive LLC cleaning: it marks up to
+// max dirty blocks clean, least-recently-used first, and returns their
+// addresses so the memory controller writes them back as part of the
+// current write batch. It satisfies memctrl.CleanSource.
+func (c *Cache) CleanDirty(max int) []uint64 {
+	return c.CleanDirtyMatching(max, nil)
+}
+
+// CleanDirtyMatching is CleanDirty restricted to blocks whose address
+// satisfies match (nil matches everything); multi-channel nodes use it so
+// each channel's write batch cleans only blocks homed on that channel.
+func (c *Cache) CleanDirtyMatching(max int, match func(addr uint64) bool) []uint64 {
+	if max <= 0 {
+		return nil
+	}
+	type cand struct {
+		set, way int
+		lastUse  uint64
+	}
+	var cands []cand
+	for si, set := range c.sets {
+		for wi := range set {
+			if !set[wi].valid || !set[wi].dirty {
+				continue
+			}
+			if match != nil && !match(set[wi].tag*uint64(c.cfg.BlockBytes)) {
+				continue
+			}
+			cands = append(cands, cand{si, wi, set[wi].lastUse})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUse < cands[j].lastUse })
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]uint64, 0, len(cands))
+	for _, cd := range cands {
+		l := &c.sets[cd.set][cd.way]
+		l.dirty = false
+		out = append(out, l.tag*uint64(c.cfg.BlockBytes))
+	}
+	c.Cleans += uint64(len(out))
+	return out
+}
+
+// MissRate returns misses / (hits + misses), or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}

@@ -1,0 +1,56 @@
+// Package core is the entry point to the paper's primary contribution,
+// re-exported under the repository's canonical layout. The implementation
+// lives in two cooperating packages:
+//
+//   - internal/heterodmr — the data plane: replication management,
+//     margin-aware module selection, real Bamboo ECC with detection-only
+//     decoding, correction-from-original, the epoch error budget, and
+//     permanent-fault remapping (§III of the paper);
+//   - internal/memctrl — the timing plane: the Hetero-DMR, FMR, and
+//     Hetero-DMR+FMR service policies inside the DRAM command scheduler
+//     (fast read mode, the frequency-switch-bracketed slow phase,
+//     broadcast writes).
+//
+// The aliases below let callers use the canonical import path without a
+// second copy of anything.
+package core
+
+import (
+	"repro/internal/heterodmr"
+	"repro/internal/memctrl"
+)
+
+// BlockSize is the memory block (cache line) size in bytes.
+const BlockSize = heterodmr.BlockSize
+
+// Data-plane types (see internal/heterodmr).
+type (
+	// Controller is the Hetero-DMR channel controller.
+	Controller = heterodmr.Controller
+	// Config assembles a Controller.
+	Config = heterodmr.Config
+	// FaultModel describes injected copy-read corruption.
+	FaultModel = heterodmr.FaultModel
+	// ReadOutcome describes how a read was served.
+	ReadOutcome = heterodmr.ReadOutcome
+	// Stats counts controller activity.
+	Stats = heterodmr.Stats
+)
+
+// New and MustNew construct a Controller.
+var (
+	New     = heterodmr.New
+	MustNew = heterodmr.MustNew
+)
+
+// Replication selects a memory-system service policy in the timing-plane
+// simulator (see internal/memctrl).
+type Replication = memctrl.Replication
+
+// Service policies.
+const (
+	ReplicationNone         = memctrl.ReplicationNone
+	ReplicationFMR          = memctrl.ReplicationFMR
+	ReplicationHeteroDMR    = memctrl.ReplicationHeteroDMR
+	ReplicationHeteroDMRFMR = memctrl.ReplicationHeteroDMRFMR
+)

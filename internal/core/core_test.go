@@ -1,0 +1,35 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/margin"
+)
+
+// TestAliasesUsable drives the canonical entry point end to end.
+func TestAliasesUsable(t *testing.T) {
+	pop := margin.GeneratePopulation(1)
+	ctrl := MustNew(Config{
+		Modules: pop.MajorBrands()[:2],
+		Bench:   margin.NewBench(23, 1),
+		Faults:  FaultModel{PerReadErrorProb: 1},
+		Seed:    1,
+	})
+	data := make([]byte, BlockSize)
+	copy(data, []byte("canonical import path"))
+	ctrl.Write(0, data)
+	got, out, err := ctrl.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip corrupted")
+	}
+	if !out.FastPath || !out.Corrected {
+		t.Errorf("outcome %+v", out)
+	}
+	if ReplicationHeteroDMR.String() != "Hetero-DMR" {
+		t.Error("replication alias broken")
+	}
+}

@@ -1,0 +1,336 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/dramspec"
+)
+
+func testRank() *Rank {
+	t := dramspec.JEDECTiming(dramspec.DDR4_3200)
+	return NewRank(16, t, dramspec.DDR4_3200.ClockPS())
+}
+
+func TestNewRankValidation(t *testing.T) {
+	tm := dramspec.JEDECTiming(dramspec.DDR4_3200)
+	for _, bad := range []func(){
+		func() { NewRank(0, tm, 625) },
+		func() { NewRank(16, tm, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid NewRank did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestActivateReadPrechargeSequence(t *testing.T) {
+	r := testRank()
+	at := r.EarliestActivate(0, 0)
+	r.Activate(0, 42, at)
+	if r.Bank(0).OpenRow() != 42 {
+		t.Fatalf("open row = %d", r.Bank(0).OpenRow())
+	}
+	col := r.EarliestColumn(0, at)
+	if col != at+r.Timing().TRCD {
+		t.Errorf("column ready at %d, want ACT+tRCD=%d", col, at+r.Timing().TRCD)
+	}
+	end := r.Read(0, col)
+	wantEnd := col + r.Timing().TCL + r.BurstPS()
+	if end != wantEnd {
+		t.Errorf("read data end %d, want %d", end, wantEnd)
+	}
+	pre := r.EarliestPrecharge(0, col)
+	if pre < at+r.Timing().TRAS {
+		t.Errorf("precharge at %d violates tRAS (%d)", pre, at+r.Timing().TRAS)
+	}
+	r.Precharge(0, pre)
+	if r.Bank(0).OpenRow() != RowClosed {
+		t.Error("row still open after precharge")
+	}
+	// Next activate must wait tRP.
+	if next := r.EarliestActivate(0, pre); next != pre+r.Timing().TRP {
+		t.Errorf("re-activate at %d, want %d", next, pre+r.Timing().TRP)
+	}
+}
+
+func TestWriteRecoveryGovernsPrecharge(t *testing.T) {
+	r := testRank()
+	r.Activate(0, 1, r.EarliestActivate(0, 0))
+	col := r.EarliestColumn(0, 0)
+	dataEnd := r.Write(0, col)
+	pre := r.EarliestPrecharge(0, col)
+	if pre < dataEnd+r.Timing().TWR {
+		t.Errorf("precharge at %d violates tWR (%d)", pre, dataEnd+r.Timing().TWR)
+	}
+}
+
+func TestTRRDBetweenBanks(t *testing.T) {
+	r := testRank()
+	a0 := r.EarliestActivate(0, 0)
+	r.Activate(0, 1, a0)
+	a1 := r.EarliestActivate(1, a0)
+	if a1 < a0+r.Timing().TRRD {
+		t.Errorf("second ACT at %d violates tRRD (want >= %d)", a1, a0+r.Timing().TRRD)
+	}
+}
+
+func TestTFAWWindow(t *testing.T) {
+	r := testRank()
+	var times []int64
+	now := int64(0)
+	for b := 0; b < 5; b++ {
+		at := r.EarliestActivate(b, now)
+		r.Activate(b, 1, at)
+		times = append(times, at)
+		now = at
+	}
+	if times[4] < times[0]+r.Timing().TFAW {
+		t.Errorf("fifth ACT at %d violates tFAW window starting %d", times[4], times[0])
+	}
+}
+
+func TestEarlyCommandPanics(t *testing.T) {
+	r := testRank()
+	r.Activate(0, 1, r.EarliestActivate(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("early read did not panic")
+		}
+	}()
+	r.Read(0, 0) // before tRCD
+}
+
+func TestColumnWithClosedRowPanics(t *testing.T) {
+	r := testRank()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("column on closed row did not panic")
+		}
+	}()
+	r.EarliestColumn(0, 0)
+}
+
+func TestActivateOpenRowPanics(t *testing.T) {
+	r := testRank()
+	r.Activate(0, 1, r.EarliestActivate(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double activate did not panic")
+		}
+	}()
+	r.EarliestActivate(0, 1_000_000)
+}
+
+func TestRefreshCycle(t *testing.T) {
+	r := testRank()
+	if r.RefreshDue(0) {
+		t.Error("refresh due at time 0")
+	}
+	due := r.Timing().TREFI
+	if !r.RefreshDue(due) {
+		t.Error("refresh not due at tREFI")
+	}
+	end := r.Refresh(due)
+	if end != due+r.Timing().TRFC {
+		t.Errorf("refresh end %d, want %d", end, due+r.Timing().TRFC)
+	}
+	if r.RefreshDue(end) {
+		t.Error("refresh due immediately after refresh")
+	}
+	// ACT during tRFC must be pushed out.
+	if at := r.EarliestActivate(0, due); at < end {
+		t.Errorf("ACT at %d during refresh (ends %d)", at, end)
+	}
+	if r.Refreshes != 1 {
+		t.Errorf("Refreshes = %d", r.Refreshes)
+	}
+}
+
+func TestRefreshWithOpenRowPanics(t *testing.T) {
+	r := testRank()
+	r.Activate(0, 1, r.EarliestActivate(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("refresh with open row did not panic")
+		}
+	}()
+	r.Refresh(r.Timing().TREFI)
+}
+
+func TestSelfRefreshLifecycle(t *testing.T) {
+	r := testRank()
+	r.EnterSelfRefresh(100)
+	if !r.InSelfRefresh() {
+		t.Fatal("not in self-refresh")
+	}
+	if r.RefreshDue(1e12) {
+		t.Error("auto-refresh due while in self-refresh")
+	}
+	end := r.ExitSelfRefresh(1000)
+	if end != 1000+r.Timing().TRFC+10*dramspec.Nanosecond {
+		t.Errorf("SRX ready at %d", end)
+	}
+	if r.InSelfRefresh() {
+		t.Error("still in self-refresh after exit")
+	}
+	// Commands blocked until tXS elapses.
+	if at := r.EarliestActivate(0, 1000); at < end {
+		t.Errorf("ACT at %d during tXS (ends %d)", at, end)
+	}
+	if r.SelfRefEnters != 1 {
+		t.Errorf("SelfRefEnters = %d", r.SelfRefEnters)
+	}
+}
+
+func TestSelfRefreshDoubleEnterPanics(t *testing.T) {
+	r := testRank()
+	r.EnterSelfRefresh(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double SRE did not panic")
+		}
+	}()
+	r.EnterSelfRefresh(1)
+}
+
+func TestSelfRefreshCommandPanics(t *testing.T) {
+	r := testRank()
+	r.EnterSelfRefresh(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ACT during self-refresh did not panic")
+		}
+	}()
+	r.EarliestActivate(0, 10)
+}
+
+func TestExitWithoutEnterPanics(t *testing.T) {
+	r := testRank()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SRX without SRE did not panic")
+		}
+	}()
+	r.ExitSelfRefresh(0)
+}
+
+func TestPrechargeAll(t *testing.T) {
+	r := testRank()
+	now := int64(0)
+	for b := 0; b < 4; b++ {
+		at := r.EarliestActivate(b, now)
+		r.Activate(b, int64(b), at)
+		now = at
+	}
+	done := r.PrechargeAll(now)
+	for b := 0; b < 4; b++ {
+		if r.Bank(b).OpenRow() != RowClosed {
+			t.Errorf("bank %d still open", b)
+		}
+	}
+	if done <= now {
+		t.Error("PrechargeAll completed instantly despite open rows")
+	}
+	// Idempotent on an already-closed rank.
+	if again := r.PrechargeAll(done); again != done {
+		t.Errorf("second PrechargeAll moved time to %d", again)
+	}
+}
+
+func TestSetConfigDuringSelfRefreshPanics(t *testing.T) {
+	r := testRank()
+	r.EnterSelfRefresh(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetConfig during self-refresh did not panic")
+		}
+	}()
+	r.SetConfig(dramspec.JEDECTiming(dramspec.OC_4000), dramspec.OC_4000.ClockPS())
+}
+
+func TestFrequencySwitch(t *testing.T) {
+	tm := dramspec.JEDECTiming(dramspec.DDR4_3200)
+	ranks := []*Rank{
+		NewRank(16, tm, dramspec.DDR4_3200.ClockPS()),
+		NewRank(16, tm, dramspec.DDR4_3200.ClockPS()),
+	}
+	// Open a row on one rank so the switch has to quiesce.
+	ranks[0].Activate(3, 7, ranks[0].EarliestActivate(3, 0))
+	newT := dramspec.LatencyMarginTiming(dramspec.OC_4000)
+	done := FrequencySwitch(ranks, 50_000, newT, dramspec.OC_4000.ClockPS(), dramspec.FrequencySwitchLatency)
+	for i, r := range ranks {
+		if r.InSelfRefresh() {
+			t.Errorf("rank %d still in self-refresh", i)
+		}
+		if r.ClockPS() != dramspec.OC_4000.ClockPS() {
+			t.Errorf("rank %d clock %d", i, r.ClockPS())
+		}
+		if r.Timing().TRCD != newT.TRCD {
+			t.Errorf("rank %d timing not updated", i)
+		}
+		if r.Bank(3).OpenRow() != RowClosed {
+			t.Errorf("rank %d bank 3 not quiesced", i)
+		}
+		// Rank must be usable at `done`.
+		if at := r.EarliestActivate(0, done); at != done {
+			t.Errorf("rank %d not ready at switch end: %d vs %d", i, at, done)
+		}
+	}
+	// The switch must cost about FrequencySwitchLatency beyond quiesce.
+	if done < 50_000+dramspec.FrequencySwitchLatency {
+		t.Errorf("switch done at %d, cheaper than the 1us transition", done)
+	}
+}
+
+func TestFrequencySwitchEmpty(t *testing.T) {
+	if got := FrequencySwitch(nil, 123, dramspec.Timing{}, 1, dramspec.FrequencySwitchLatency); got != 123 {
+		t.Errorf("empty switch returned %d", got)
+	}
+}
+
+func TestBurstPS(t *testing.T) {
+	r := testRank()
+	if r.BurstPS() != 4*dramspec.DDR4_3200.ClockPS() {
+		t.Errorf("BurstPS = %d", r.BurstPS())
+	}
+}
+
+func TestRowHitFasterThanRowMiss(t *testing.T) {
+	// A second read to the same open row must complete sooner than a read
+	// requiring precharge+activate — the locality property the FR-FCFS
+	// scheduler exploits.
+	r1 := testRank()
+	r1.Activate(0, 5, r1.EarliestActivate(0, 0))
+	first := r1.Read(0, r1.EarliestColumn(0, 0))
+	hitEnd := r1.Read(0, r1.EarliestColumn(0, first))
+
+	r2 := testRank()
+	r2.Activate(0, 5, r2.EarliestActivate(0, 0))
+	first2 := r2.Read(0, r2.EarliestColumn(0, 0))
+	pre := r2.EarliestPrecharge(0, first2)
+	r2.Precharge(0, pre)
+	act := r2.EarliestActivate(0, pre)
+	r2.Activate(0, 6, act)
+	missEnd := r2.Read(0, r2.EarliestColumn(0, act))
+
+	if hitEnd >= missEnd {
+		t.Errorf("row hit (%d) not faster than row miss (%d)", hitEnd, missEnd)
+	}
+}
+
+func TestFasterClockShortensRead(t *testing.T) {
+	slow := NewRank(16, dramspec.JEDECTiming(dramspec.DDR4_3200), dramspec.DDR4_3200.ClockPS())
+	fast := NewRank(16, dramspec.JEDECTiming(dramspec.OC_4000), dramspec.OC_4000.ClockPS())
+	slow.Activate(0, 1, slow.EarliestActivate(0, 0))
+	fast.Activate(0, 1, fast.EarliestActivate(0, 0))
+	se := slow.Read(0, slow.EarliestColumn(0, 0))
+	fe := fast.Read(0, fast.EarliestColumn(0, 0))
+	if fe >= se {
+		t.Errorf("4000MT/s read (%d) not faster than 3200MT/s read (%d)", fe, se)
+	}
+}

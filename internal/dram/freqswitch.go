@@ -1,0 +1,49 @@
+package dram
+
+import "repro/internal/dramspec"
+
+// FrequencySwitch performs the JEDEC-compliant frequency transition of
+// Figs 9-10 in the paper on every rank of a channel:
+//
+//	(a/b) quiesce — precharge all open rows;
+//	(c)   enter self-refresh and change the channel clock;
+//	(d)   synchronize — re-lock DLLs to the new clock;
+//	(e)   exit to the new operating point.
+//
+// The whole sequence costs switchPS beyond the quiesce point (the paper's
+// physical value is dramspec.FrequencySwitchLatency, ~1us; scaled
+// simulations pass a proportionally scaled value — see node.Config); the
+// function returns the instant the ranks accept commands at the new
+// configuration.
+func FrequencySwitch(ranks []*Rank, now int64, t dramspec.Timing, clockPS, switchPS int64) int64 {
+	if len(ranks) == 0 {
+		return now
+	}
+	// Quiesce: close every row on every rank.
+	quiesced := now
+	for _, r := range ranks {
+		if end := r.PrechargeAll(now); end > quiesced {
+			quiesced = end
+		}
+	}
+	// Enter self-refresh so the DRAMs tolerate the clock change, change
+	// the clock, re-lock, and exit. The exit path itself costs
+	// tRFC + 10ns, so schedule SRX such that total switch time past the
+	// quiesce point equals switchPS.
+	for _, r := range ranks {
+		r.EnterSelfRefresh(quiesced)
+	}
+	exitCost := ranks[0].ExitLatency()
+	srxAt := quiesced + switchPS - exitCost
+	if srxAt < quiesced {
+		srxAt = quiesced
+	}
+	done := quiesced
+	for _, r := range ranks {
+		if end := r.ExitSelfRefresh(srxAt); end > done {
+			done = end
+		}
+		r.SetConfig(t, clockPS)
+	}
+	return done
+}

@@ -1,0 +1,30 @@
+package dram
+
+// ProjectRead estimates, without mutating any state, the earliest instant
+// a column (RD/WR) command to row `row` of bank b could issue if the
+// controller were to schedule the necessary PRE/ACT sequence starting at
+// `now`. FR-FCFS and FMR's replica selection use it to compare candidate
+// banks/ranks cheaply.
+func (r *Rank) ProjectRead(b int, row int64, now int64) int64 {
+	bank := r.checkBank(b)
+	if r.selfRefresh {
+		panic("dram: ProjectRead during self-refresh")
+	}
+	if bank.row == row && row != RowClosed {
+		// Row hit: just the column-readiness constraints.
+		return max64(now, bank.readyCol, r.refBusyEnd)
+	}
+	actReady := func(after int64) int64 {
+		faw := r.actWindow[r.actWindowI] + r.timing.TFAW
+		return max64(after, bank.readyAct, r.lastAct+r.timing.TRRD, faw, r.refBusyEnd)
+	}
+	if bank.row == RowClosed {
+		// Row miss: ACT then RD.
+		at := actReady(now)
+		return at + r.timing.TRCD
+	}
+	// Row conflict: PRE, ACT, RD.
+	preAt := max64(now, bank.readyPreRAS, bank.readyPreCol, r.refBusyEnd)
+	actAt := actReady(preAt + r.timing.TRP)
+	return actAt + r.timing.TRCD
+}

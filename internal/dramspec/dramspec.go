@@ -1,0 +1,204 @@
+// Package dramspec defines DDR4 speed grades, timing parameters, and the
+// four memory settings of Table II in the paper (manufacturer spec,
+// latency-margin, frequency-margin, and freq+lat-margin settings).
+//
+// All durations are kept in picoseconds as integers so the discrete-event
+// simulator never accumulates floating-point drift; helpers convert
+// between MT/s data rates, clock periods, and nanosecond parameters.
+package dramspec
+
+import "fmt"
+
+// Picoseconds per common units.
+const (
+	Nanosecond  int64 = 1_000
+	Microsecond int64 = 1_000_000
+	Millisecond int64 = 1_000_000_000
+	Second      int64 = 1_000_000_000_000
+)
+
+// DataRate is a DDR data rate in mega-transfers per second.
+type DataRate int
+
+// JEDEC DDR4 speed grades (plus the overclocked rates the characterization
+// reaches; DDR4 JEDEC tops out at 3200 MT/s).
+const (
+	DDR4_2400 DataRate = 2400
+	DDR4_2666 DataRate = 2666
+	DDR4_2933 DataRate = 2933
+	DDR4_3200 DataRate = 3200 // max JEDEC DDR4 rate
+	OC_3400   DataRate = 3400
+	OC_3600   DataRate = 3600
+	OC_3800   DataRate = 3800
+	OC_4000   DataRate = 4000 // the paper's observed platform cap
+)
+
+// BIOSStep is the data-rate granularity of the characterization testbed
+// ("Due to BIOS limitation, we use the step size of 200MT/s").
+const BIOSStep DataRate = 200
+
+// PlatformCap is the system-level data-rate ceiling the paper's testbed
+// exhibits (§II-A: no module exceeded 4000 MT/s regardless of voltage).
+const PlatformCap DataRate = 4000
+
+// MaxJEDEC is the top JEDEC-standard DDR4 data rate.
+const MaxJEDEC DataRate = DDR4_3200
+
+// String renders the rate like "3200MT/s".
+func (d DataRate) String() string { return fmt.Sprintf("%dMT/s", int(d)) }
+
+// ClockPS returns the clock period in picoseconds. DDR transfers twice per
+// clock, so the clock frequency is rate/2 MHz.
+func (d DataRate) ClockPS() int64 {
+	if d <= 0 {
+		panic("dramspec: non-positive data rate")
+	}
+	// period = 1 / (rate/2 MHz) us = 2000/rate ns = 2e6/rate ps
+	return 2_000_000 / int64(d)
+}
+
+// BytesPerSecondPerChannel returns the peak bandwidth of one 64-bit
+// channel at this data rate.
+func (d DataRate) BytesPerSecondPerChannel() float64 {
+	return float64(d) * 1e6 * 8 // 8 bytes per transfer
+}
+
+// Timing holds the DRAM timing parameters the paper manipulates, in
+// picoseconds (except where noted). Only the parameters the paper's
+// experiments exercise are modelled; the remaining JEDEC constraints are
+// carried so the device model checks realistic command interactions.
+type Timing struct {
+	TRCD        int64 // activate-to-read/write delay
+	TRP         int64 // precharge latency
+	TRAS        int64 // activate-to-precharge
+	TCL         int64 // CAS (read) latency
+	TCWL        int64 // CAS write latency
+	TWR         int64 // write recovery
+	TRTP        int64 // read-to-precharge
+	TWTR        int64 // write-to-read turnaround (same rank)
+	TRRD        int64 // activate-to-activate, different banks
+	TFAW        int64 // four-activate window
+	TRFC        int64 // refresh cycle time
+	TREFI       int64 // refresh interval
+	TCCD        int64 // column-to-column delay
+	TRTW        int64 // read-to-write bus turnaround
+	BurstLength int   // transfers per burst (8 for DDR4 BL8)
+}
+
+// JEDECTiming returns nominal DDR4 timings for a speed grade. The
+// values follow the Micron 8Gb DDR4 datasheet the paper cites: the
+// bank-timing parameters are constant in nanoseconds across speed grades
+// (13.75ns tRCD/tRP for -3200AA parts, 32/35ns tRAS, 7.8us tREFI).
+func JEDECTiming(rate DataRate) Timing {
+	tck := rate.ClockPS()
+	return Timing{
+		TRCD:        13750,
+		TRP:         13750,
+		TRAS:        32500,
+		TCL:         13750,
+		TCWL:        10000,
+		TWR:         15000,
+		TRTP:        7500,
+		TWTR:        7500,
+		TRRD:        5300,
+		TFAW:        21000,
+		TRFC:        350000, // 8Gb die
+		TREFI:       7800 * Nanosecond,
+		TCCD:        4 * tck,
+		TRTW:        8 * tck, // read-to-write turnaround ~20ns round-trip/2
+		BurstLength: 8,
+	}
+}
+
+// LatencyMarginTiming returns the Table II "Setting to Exploit Latency
+// Margin": the conservative latency-margin combination that worked across
+// all 119 modules — tRCD 13.75→11.5ns (16%), tRP 13.75→11ns (16%... the
+// paper lists the margin vector as <16%,16%,9%,92%>), tRAS 32.5→29.5ns,
+// tREFI 7.8→15us.
+func LatencyMarginTiming(rate DataRate) Timing {
+	t := JEDECTiming(rate)
+	t.TRCD = 11500
+	t.TRP = 11000
+	t.TRAS = 29500
+	t.TREFI = 15 * Microsecond
+	return t
+}
+
+// Setting identifies one of the four Table II configurations.
+type Setting int
+
+const (
+	// SettingSpec is the manufacturer-specified operating point.
+	SettingSpec Setting = iota
+	// SettingLatencyMargin keeps the specified data rate but tightens
+	// tRCD/tRP/tRAS and relaxes tREFI per the measured latency margins.
+	SettingLatencyMargin
+	// SettingFrequencyMargin raises the data rate to spec+margin while
+	// keeping manufacturer latency parameters (in nanoseconds).
+	SettingFrequencyMargin
+	// SettingFreqLatMargin exploits both margins simultaneously; this is
+	// the operating point Hetero-DMR uses for the unsafely fast copies.
+	SettingFreqLatMargin
+)
+
+// String names the setting as Table II does.
+func (s Setting) String() string {
+	switch s {
+	case SettingSpec:
+		return "Manufacturer-specified Setting"
+	case SettingLatencyMargin:
+		return "Setting to Exploit Latency Margin"
+	case SettingFrequencyMargin:
+		return "Setting to Exploit Frequency Margin"
+	case SettingFreqLatMargin:
+		return "Setting to Exploit Freq+Lat Margins"
+	default:
+		return fmt.Sprintf("Setting(%d)", int(s))
+	}
+}
+
+// Config is a complete operating point: data rate plus timing.
+type Config struct {
+	Rate   DataRate
+	Timing Timing
+}
+
+// TableII returns the operating point for a setting, given the module's
+// specified rate and its frequency margin in MT/s. The frequency-margin
+// settings clamp at the platform cap, mirroring the testbed.
+func TableII(s Setting, specRate DataRate, marginMTs DataRate) Config {
+	fast := specRate + marginMTs
+	if fast > PlatformCap {
+		fast = PlatformCap
+	}
+	switch s {
+	case SettingSpec:
+		return Config{Rate: specRate, Timing: JEDECTiming(specRate)}
+	case SettingLatencyMargin:
+		return Config{Rate: specRate, Timing: LatencyMarginTiming(specRate)}
+	case SettingFrequencyMargin:
+		return Config{Rate: fast, Timing: JEDECTiming(fast)}
+	case SettingFreqLatMargin:
+		return Config{Rate: fast, Timing: LatencyMarginTiming(fast)}
+	default:
+		panic(fmt.Sprintf("dramspec: unknown setting %d", int(s)))
+	}
+}
+
+// FrequencySwitchLatency is the cost of a JEDEC-compliant frequency
+// transition (Figs 9-10 of the paper: drain, enter self-refresh, change
+// clock, re-lock DLL, exit): ~1 microsecond in picoseconds.
+const FrequencySwitchLatency = 1 * Microsecond
+
+// ReadWriteTurnaround is today's DRAM read-to-write-and-back round trip
+// (~20ns, §III-A1); Hetero-DMR's mode switches instead pay
+// FrequencySwitchLatency, 100x lager, which is why the write batch grows
+// 100x (12,800 writes instead of 128).
+const ReadWriteTurnaround = 20 * Nanosecond
+
+// WriteBatch sizes per §III-A1 / §III-E.
+const (
+	ConventionalWriteBatch = 128
+	HeteroDMRWriteBatch    = 12800
+	WriteBatchScale        = HeteroDMRWriteBatch / ConventionalWriteBatch // 100
+)

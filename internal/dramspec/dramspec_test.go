@@ -1,0 +1,176 @@
+package dramspec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockPS(t *testing.T) {
+	cases := []struct {
+		rate DataRate
+		want int64
+	}{
+		{DDR4_3200, 625}, // 1600MHz -> 0.625ns
+		{DDR4_2400, 833}, // 1200MHz -> ~0.833ns
+		{OC_4000, 500},   // 2000MHz -> 0.5ns
+	}
+	for _, c := range cases {
+		if got := c.rate.ClockPS(); got != c.want {
+			t.Errorf("ClockPS(%v) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestClockPSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ClockPS of zero rate did not panic")
+		}
+	}()
+	DataRate(0).ClockPS()
+}
+
+func TestBandwidth(t *testing.T) {
+	// 3200 MT/s * 8 B = 25.6 GB/s per channel.
+	if bw := DDR4_3200.BytesPerSecondPerChannel(); bw != 25.6e9 {
+		t.Errorf("3200MT/s channel bandwidth = %v, want 25.6e9", bw)
+	}
+}
+
+func TestJEDECTimingMatchesTableII(t *testing.T) {
+	tm := JEDECTiming(DDR4_3200)
+	if tm.TRCD != 13750 || tm.TRP != 13750 || tm.TRAS != 32500 {
+		t.Errorf("spec timing tRCD=%d tRP=%d tRAS=%d", tm.TRCD, tm.TRP, tm.TRAS)
+	}
+	if tm.TREFI != 7800*Nanosecond {
+		t.Errorf("tREFI = %d, want 7.8us", tm.TREFI)
+	}
+}
+
+func TestLatencyMarginTimingMatchesTableII(t *testing.T) {
+	tm := LatencyMarginTiming(DDR4_3200)
+	if tm.TRCD != 11500 || tm.TRP != 11000 || tm.TRAS != 29500 {
+		t.Errorf("latency-margin timing tRCD=%d tRP=%d tRAS=%d", tm.TRCD, tm.TRP, tm.TRAS)
+	}
+	if tm.TREFI != 15*Microsecond {
+		t.Errorf("tREFI = %d, want 15us", tm.TREFI)
+	}
+}
+
+func TestLatencyMarginVector(t *testing.T) {
+	// The paper's conservative latency margin combination is
+	// <tRCD 16%, tRP ~20%, tRAS 9%, tREFI 92%> relative to spec — check
+	// the derived percentages are in the right ballpark.
+	spec := JEDECTiming(DDR4_3200)
+	lat := LatencyMarginTiming(DDR4_3200)
+	rcd := float64(spec.TRCD-lat.TRCD) / float64(spec.TRCD)
+	ras := float64(spec.TRAS-lat.TRAS) / float64(spec.TRAS)
+	refi := float64(lat.TREFI-spec.TREFI) / float64(spec.TREFI)
+	if rcd < 0.15 || rcd > 0.18 {
+		t.Errorf("tRCD margin = %v, want ~16%%", rcd)
+	}
+	if ras < 0.08 || ras > 0.10 {
+		t.Errorf("tRAS margin = %v, want ~9%%", ras)
+	}
+	if refi < 0.90 || refi > 0.95 {
+		t.Errorf("tREFI margin = %v, want ~92%%", refi)
+	}
+}
+
+func TestTableIISettings(t *testing.T) {
+	const spec, margin = DDR4_3200, DataRate(800)
+	cfg := TableII(SettingSpec, spec, margin)
+	if cfg.Rate != 3200 || cfg.Timing.TRCD != 13750 {
+		t.Errorf("spec setting: %+v", cfg)
+	}
+	cfg = TableII(SettingLatencyMargin, spec, margin)
+	if cfg.Rate != 3200 || cfg.Timing.TRCD != 11500 {
+		t.Errorf("latency setting: %+v", cfg)
+	}
+	cfg = TableII(SettingFrequencyMargin, spec, margin)
+	if cfg.Rate != 4000 || cfg.Timing.TRCD != 13750 {
+		t.Errorf("frequency setting: %+v", cfg)
+	}
+	cfg = TableII(SettingFreqLatMargin, spec, margin)
+	if cfg.Rate != 4000 || cfg.Timing.TRCD != 11500 {
+		t.Errorf("freq+lat setting: %+v", cfg)
+	}
+}
+
+func TestTableIIPlatformCap(t *testing.T) {
+	cfg := TableII(SettingFrequencyMargin, DDR4_3200, 1200)
+	if cfg.Rate != PlatformCap {
+		t.Errorf("rate %v not clamped to platform cap", cfg.Rate)
+	}
+}
+
+func TestTableIIUnknownSettingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown setting did not panic")
+		}
+	}()
+	TableII(Setting(99), DDR4_3200, 0)
+}
+
+func TestSettingStrings(t *testing.T) {
+	for s := SettingSpec; s <= SettingFreqLatMargin; s++ {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Setting(") {
+			t.Errorf("setting %d has no name", int(s))
+		}
+	}
+	if !strings.HasPrefix(Setting(42).String(), "Setting(") {
+		t.Error("unknown setting String should be generic")
+	}
+}
+
+func TestDataRateString(t *testing.T) {
+	if DDR4_3200.String() != "3200MT/s" {
+		t.Errorf("String = %q", DDR4_3200.String())
+	}
+}
+
+func TestWriteBatchScale(t *testing.T) {
+	if WriteBatchScale != 100 {
+		t.Errorf("WriteBatchScale = %d, want 100 (12800/128)", WriteBatchScale)
+	}
+	if FrequencySwitchLatency/ReadWriteTurnaround != 50 {
+		// 1us vs 20ns: the paper quotes "100x" against the ~10ns one-way
+		// component; our modelled round-trip is 20ns, so 50x here.
+		t.Errorf("switch/turnaround ratio = %d", FrequencySwitchLatency/ReadWriteTurnaround)
+	}
+}
+
+// Property: faster data rates never have longer clock periods, and the
+// period is always positive.
+func TestClockMonotonic(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ra, rb := DataRate(a%6000)+400, DataRate(b%6000)+400
+		pa, pb := ra.ClockPS(), rb.ClockPS()
+		if pa <= 0 || pb <= 0 {
+			return false
+		}
+		if ra < rb {
+			return pa >= pb
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Table II never returns a rate above the platform cap nor below
+// the module's specified rate.
+func TestTableIIRateBounds(t *testing.T) {
+	f := func(marginRaw uint16, settingRaw uint8) bool {
+		margin := DataRate(marginRaw % 2000)
+		s := Setting(settingRaw % 4)
+		cfg := TableII(s, DDR4_3200, margin)
+		return cfg.Rate >= DDR4_3200 && cfg.Rate <= PlatformCap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+// Package ecc implements the memory-block ECC layer Hetero-DMR builds on
+// (§III-B/III-C of the paper): a Bamboo-style code that protects all 64
+// data bytes of a memory block with eight Reed-Solomon bytes computed over
+// the data AND the block's address, so that address-bus errors surface as
+// data errors.
+//
+// The codec exposes the two decode modes the paper distinguishes:
+//
+//   - DecodeDetectOnly — used for copies read at unsafely fast data rates.
+//     All eight ECC bytes are spent on detection; decoding stops after the
+//     syndrome check, so any error touching up to eight bytes is detected
+//     and miscorrection (the ECC-induced SDC channel) is impossible. An
+//     error wider than eight bytes escapes with probability 2^-64.
+//   - DecodeCorrect — used for original blocks operated at specification,
+//     behaving like a conventional server memory controller (corrects up
+//     to four byte errors).
+//
+// The package also implements the epoch error budget from §III-B: by
+// capping detected 8B+ errors at ~2.1 million per hour, the mean time to
+// an escaped SDC stays above one billion years even in the unreal worst
+// case where every access produces an 8B+ error.
+package ecc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/rs"
+)
+
+// Block geometry of a server memory access (a 64-byte cache line plus the
+// eight ECC bytes stored in the module's ECC chips).
+const (
+	BlockSize   = 64 // data bytes per memory block
+	ParityBytes = 8  // ECC bytes per memory block
+)
+
+// Codec encodes and decodes memory blocks. It is immutable after
+// construction and safe for concurrent use.
+type Codec struct {
+	inner *rs.Code // RS(BlockSize+8 address bytes + parity)
+}
+
+// Decode errors. ErrDetected mirrors rs.ErrDetected at the block level.
+var (
+	ErrDetected      = errors.New("ecc: error detected in block")
+	ErrUncorrectable = errors.New("ecc: uncorrectable error in block")
+)
+
+// NewCodec returns the block codec. The underlying Reed-Solomon code spans
+// the 64 data bytes plus the 8-byte block address, so a block read from
+// the wrong address fails the syndrome check exactly like a data error
+// (the paper adopts this address-protection from resilient die-stacked
+// DRAM caches).
+func NewCodec() *Codec {
+	return &Codec{inner: rs.MustNew(BlockSize+8, ParityBytes)}
+}
+
+// Encode computes the eight ECC bytes for a block's data and address.
+// It panics if len(data) != BlockSize.
+func (c *Codec) Encode(addr uint64, data []byte) [ParityBytes]byte {
+	if len(data) != BlockSize {
+		panic(fmt.Sprintf("ecc: Encode with %d data bytes", len(data)))
+	}
+	buf := make([]byte, BlockSize+8+ParityBytes)
+	copy(buf, data)
+	binary.LittleEndian.PutUint64(buf[BlockSize:], addr)
+	c.inner.EncodeInto(buf)
+	var parity [ParityBytes]byte
+	copy(parity[:], buf[BlockSize+8:])
+	return parity
+}
+
+// assemble reconstructs the full RS codeword from the stored pieces.
+func (c *Codec) assemble(addr uint64, data []byte, parity [ParityBytes]byte) []byte {
+	buf := make([]byte, BlockSize+8+ParityBytes)
+	copy(buf, data)
+	binary.LittleEndian.PutUint64(buf[BlockSize:], addr)
+	copy(buf[BlockSize+8:], parity[:])
+	return buf
+}
+
+// DecodeDetectOnly checks a block read against its ECC without attempting
+// correction. It returns nil when the block is consistent with the address
+// it was requested from, and ErrDetected otherwise. data is never
+// modified. It panics if len(data) != BlockSize.
+func (c *Codec) DecodeDetectOnly(addr uint64, data []byte, parity [ParityBytes]byte) error {
+	if len(data) != BlockSize {
+		panic(fmt.Sprintf("ecc: DecodeDetectOnly with %d data bytes", len(data)))
+	}
+	if err := c.inner.Detect(c.assemble(addr, data, parity)); err != nil {
+		return ErrDetected
+	}
+	return nil
+}
+
+// DecodeCorrect checks a block read and corrects up to four byte errors in
+// place (in data and conceptually in parity). It returns the number of
+// byte errors corrected, or ErrUncorrectable when correction fails; data
+// is left unmodified in that case. Note that an error that lands in the
+// embedded address bytes is uncorrectable in practice (the true address is
+// known), but we let the code treat it uniformly. It panics if
+// len(data) != BlockSize.
+func (c *Codec) DecodeCorrect(addr uint64, data []byte, parity [ParityBytes]byte) (int, error) {
+	if len(data) != BlockSize {
+		panic(fmt.Sprintf("ecc: DecodeCorrect with %d data bytes", len(data)))
+	}
+	buf := c.assemble(addr, data, parity)
+	n, err := c.inner.Correct(buf)
+	if err != nil {
+		return 0, ErrUncorrectable
+	}
+	// The address field is authoritative; if "correction" changed it, the
+	// block was actually read from / written to a wrong location.
+	if binary.LittleEndian.Uint64(buf[BlockSize:]) != addr {
+		return 0, ErrUncorrectable
+	}
+	copy(data, buf[:BlockSize])
+	return n, nil
+}
+
+// EscapeProbability is the chance a detection-only decode misses an error
+// wider than ParityBytes bytes: all 64 recomputed code bits must match by
+// coincidence, i.e. 2^-64 (§III-B).
+const EscapeProbability = 1.0 / (1 << 63) / 2 // 2^-64 without overflowing
+
+// DetectionsPerSDC is the expected number of detected 8B+ errors per
+// escaped silent data corruption: 2^64 (the paper spells the integer out:
+// 18446744073709600000, which is 2^64 rounded to 6 significant digits).
+const DetectionsPerSDC = 1 << 63 * 2.0 // 2^64 as a float64 constant
+
+// Epoch error budget (§III-B).
+const (
+	// HoursPerBillionYears converts the one-billion-year MTT-SDC target
+	// into hours: 1e9 years * 365.25 days * 24 hours / day.
+	HoursPerBillionYears = 1e9 * 365.25 * 24
+	// ServerMTTSDCYears is the conventional server target the paper cites
+	// (1000-year mean time to SDC), used to express Hetero-DMR's SDC
+	// overhead as one part per million.
+	ServerMTTSDCYears = 1000.0
+)
+
+// EpochBudget returns the per-hour detected-error threshold that keeps
+// mean time to SDC at targetYears under the worst-case assumption that
+// every detected error is an 8B+ error: 2^64 / hours(targetYears).
+// With the paper's one-billion-year target this is ~2.1 million errors
+// per hour.
+func EpochBudget(targetYears float64) uint64 {
+	if targetYears <= 0 {
+		panic("ecc: non-positive MTT-SDC target")
+	}
+	hours := targetYears * 365.25 * 24
+	return uint64(DetectionsPerSDC / hours)
+}
+
+// EpochCounter tracks detected errors within an epoch and trips once the
+// budget is exhausted, signalling Hetero-DMR to fall back to specification
+// for the remainder of the epoch (§III-B). The zero value is unusable;
+// use NewEpochCounter.
+type EpochCounter struct {
+	budget  uint64
+	count   uint64
+	tripped bool
+	epochs  uint64 // completed epochs
+	trips   uint64 // epochs that ended tripped
+}
+
+// NewEpochCounter returns a counter with the given per-epoch budget.
+// It panics if budget is zero.
+func NewEpochCounter(budget uint64) *EpochCounter {
+	if budget == 0 {
+		panic("ecc: zero epoch budget")
+	}
+	return &EpochCounter{budget: budget}
+}
+
+// Record counts n detected errors and reports whether the budget has been
+// exceeded (either now or earlier in this epoch).
+func (e *EpochCounter) Record(n uint64) bool {
+	e.count += n
+	if e.count > e.budget {
+		e.tripped = true
+	}
+	return e.tripped
+}
+
+// Tripped reports whether the current epoch's budget is exhausted.
+func (e *EpochCounter) Tripped() bool { return e.tripped }
+
+// Count returns the number of errors recorded in the current epoch.
+func (e *EpochCounter) Count() uint64 { return e.count }
+
+// Budget returns the per-epoch budget.
+func (e *EpochCounter) Budget() uint64 { return e.budget }
+
+// NextEpoch closes the current epoch (remembering whether it tripped) and
+// re-arms the counter; Hetero-DMR re-replicates and speeds memory back up
+// at each epoch boundary.
+func (e *EpochCounter) NextEpoch() {
+	e.epochs++
+	if e.tripped {
+		e.trips++
+	}
+	e.count = 0
+	e.tripped = false
+}
+
+// Epochs returns the number of completed epochs.
+func (e *EpochCounter) Epochs() uint64 { return e.epochs }
+
+// TrippedEpochs returns how many completed epochs ended with the budget
+// exhausted.
+func (e *EpochCounter) TrippedEpochs() uint64 { return e.trips }
+
+// ActiveFraction returns the fraction of completed epochs in which
+// Hetero-DMR stayed active for the whole epoch. Footnote 2 of the paper:
+// under the measured 23°C error rates this is ~100%.
+func (e *EpochCounter) ActiveFraction() float64 {
+	if e.epochs == 0 {
+		return 1
+	}
+	return 1 - float64(e.trips)/float64(e.epochs)
+}

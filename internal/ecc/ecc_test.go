@@ -1,0 +1,234 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func randomBlock(r *xrand.Rand) []byte {
+	b := make([]byte, BlockSize)
+	for i := range b {
+		b[i] = byte(r.Uint64())
+	}
+	return b
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	c := NewCodec()
+	r := xrand.New(1)
+	for trial := 0; trial < 50; trial++ {
+		addr := r.Uint64()
+		data := randomBlock(r)
+		parity := c.Encode(addr, data)
+		if err := c.DecodeDetectOnly(addr, data, parity); err != nil {
+			t.Fatalf("clean block flagged: %v", err)
+		}
+		if n, err := c.DecodeCorrect(addr, data, parity); n != 0 || err != nil {
+			t.Fatalf("clean block corrected: n=%d err=%v", n, err)
+		}
+	}
+}
+
+func TestDetectsDataCorruption(t *testing.T) {
+	c := NewCodec()
+	r := xrand.New(2)
+	addr := uint64(0xDEADBEEF000)
+	data := randomBlock(r)
+	parity := c.Encode(addr, data)
+	for weight := 1; weight <= 8; weight++ {
+		for trial := 0; trial < 50; trial++ {
+			bad := append([]byte(nil), data...)
+			for _, p := range r.Perm(BlockSize)[:weight] {
+				var e byte
+				for e == 0 {
+					e = byte(r.Uint64())
+				}
+				bad[p] ^= e
+			}
+			if err := c.DecodeDetectOnly(addr, bad, parity); err != ErrDetected {
+				t.Fatalf("weight-%d corruption escaped detection", weight)
+			}
+		}
+	}
+}
+
+func TestDetectsParityCorruption(t *testing.T) {
+	c := NewCodec()
+	r := xrand.New(3)
+	addr := uint64(0x1000)
+	data := randomBlock(r)
+	parity := c.Encode(addr, data)
+	parity[3] ^= 0x40
+	if err := c.DecodeDetectOnly(addr, data, parity); err != ErrDetected {
+		t.Fatal("parity corruption escaped detection")
+	}
+}
+
+func TestDetectsAddressErrors(t *testing.T) {
+	c := NewCodec()
+	r := xrand.New(4)
+	data := randomBlock(r)
+	parity := c.Encode(0x4000, data)
+	// Reading the block back as if it were a different address (an address
+	// bus error) must be detected.
+	if err := c.DecodeDetectOnly(0x4040, data, parity); err != ErrDetected {
+		t.Fatal("address-bus error escaped detection")
+	}
+	// ...and must not be 'corrected' into acceptance.
+	cp := append([]byte(nil), data...)
+	if _, err := c.DecodeCorrect(0x4040, cp, parity); err == nil {
+		t.Fatal("address-bus error was accepted by correction decode")
+	}
+	if !bytes.Equal(cp, data) {
+		t.Fatal("failed correction modified data")
+	}
+}
+
+func TestCorrectsSmallErrors(t *testing.T) {
+	c := NewCodec()
+	r := xrand.New(5)
+	for weight := 1; weight <= 4; weight++ {
+		addr := r.Uint64()
+		data := randomBlock(r)
+		parity := c.Encode(addr, data)
+		bad := append([]byte(nil), data...)
+		for _, p := range r.Perm(BlockSize)[:weight] {
+			bad[p] ^= 0x5A
+		}
+		n, err := c.DecodeCorrect(addr, bad, parity)
+		if err != nil || n != weight {
+			t.Fatalf("weight %d: n=%d err=%v", weight, n, err)
+		}
+		if !bytes.Equal(bad, data) {
+			t.Fatalf("weight %d: wrong corrected data", weight)
+		}
+	}
+}
+
+func TestDetectOnlyNeverModifies(t *testing.T) {
+	c := NewCodec()
+	f := func(addrSeed uint64, blob [BlockSize]byte, pbytes [ParityBytes]byte) bool {
+		data := append([]byte(nil), blob[:]...)
+		_ = c.DecodeDetectOnly(addrSeed, data, pbytes)
+		return bytes.Equal(data, blob[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encode/detect round-trips for arbitrary data and addresses.
+func TestRoundTripProperty(t *testing.T) {
+	c := NewCodec()
+	f := func(addr uint64, blob [BlockSize]byte) bool {
+		parity := c.Encode(addr, blob[:])
+		return c.DecodeDetectOnly(addr, blob[:], parity) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochBudgetMatchesPaper(t *testing.T) {
+	b := EpochBudget(1e9)
+	// Paper: 2^64 / (one billion years in hours) ~= 2,100,000 errors/hour.
+	if b < 2_000_000 || b > 2_200_000 {
+		t.Errorf("EpochBudget(1e9 years) = %d, want ~2.1M", b)
+	}
+}
+
+func TestEpochBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EpochBudget(0) did not panic")
+		}
+	}()
+	EpochBudget(0)
+}
+
+func TestSDCOverheadIsOnePartPerMillion(t *testing.T) {
+	// 1000-year server target / 1e9-year Hetero-DMR MTT-SDC = 1e-6.
+	overhead := ServerMTTSDCYears / 1e9
+	if overhead != 1e-6 {
+		t.Errorf("SDC overhead = %v, want 1e-6", overhead)
+	}
+}
+
+func TestEpochCounterLifecycle(t *testing.T) {
+	e := NewEpochCounter(100)
+	if e.Tripped() {
+		t.Fatal("fresh counter tripped")
+	}
+	if e.Record(50) {
+		t.Fatal("tripped below budget")
+	}
+	if e.Record(50) {
+		t.Fatal("tripped at exactly the budget")
+	}
+	if !e.Record(1) {
+		t.Fatal("did not trip beyond budget")
+	}
+	if !e.Tripped() || e.Count() != 101 {
+		t.Errorf("state: tripped=%v count=%d", e.Tripped(), e.Count())
+	}
+	e.NextEpoch()
+	if e.Tripped() || e.Count() != 0 {
+		t.Error("NextEpoch did not reset")
+	}
+	if e.Epochs() != 1 || e.TrippedEpochs() != 1 {
+		t.Errorf("epochs=%d trips=%d", e.Epochs(), e.TrippedEpochs())
+	}
+	e.Record(1)
+	e.NextEpoch()
+	if got := e.ActiveFraction(); got != 0.5 {
+		t.Errorf("ActiveFraction = %v, want 0.5", got)
+	}
+}
+
+func TestEpochCounterZeroBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEpochCounter(0) did not panic")
+		}
+	}()
+	NewEpochCounter(0)
+}
+
+func TestActiveFractionNoEpochs(t *testing.T) {
+	if f := NewEpochCounter(10).ActiveFraction(); f != 1 {
+		t.Errorf("ActiveFraction with no epochs = %v", f)
+	}
+}
+
+func TestEscapeProbability(t *testing.T) {
+	if EscapeProbability <= 0 || EscapeProbability > 1e-18 {
+		t.Errorf("EscapeProbability = %v, want ~5.4e-20", EscapeProbability)
+	}
+	if DetectionsPerSDC < 1.8e19 || DetectionsPerSDC > 1.9e19 {
+		t.Errorf("DetectionsPerSDC = %v, want ~1.84e19", DetectionsPerSDC)
+	}
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	c := NewCodec()
+	data := make([]byte, BlockSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(uint64(i)<<6, data)
+	}
+}
+
+func BenchmarkCodecDetectOnly(b *testing.B) {
+	c := NewCodec()
+	data := make([]byte, BlockSize)
+	parity := c.Encode(0x1000, data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.DecodeDetectOnly(0x1000, data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package energy implements the system-level (CPU+DRAM) energy-per-
+// instruction model behind Fig 13. The paper's argument: although
+// Hetero-DMR doubles (triples, for Hetero-DMR+FMR) DRAM write energy via
+// broadcast writes, CPU idle energy dominates, DRAM is only ~18% of
+// system power, and writes are ~15% of traffic — so the performance gain
+// nets a ~6% EPI improvement.
+//
+// The model follows the Micron power-calculator structure: per-rank
+// background power (reduced in self-refresh), activate energy per ACT,
+// and per-burst read/write/IO energy; plus a CPU with static/idle power
+// and per-instruction dynamic energy.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/memctrl"
+	"repro/internal/node"
+)
+
+// Params are the model's coefficients. Defaults (see DefaultParams) are
+// calibrated so memory contributes ~18% of system power on the baseline,
+// per the datacenter literature the paper cites.
+type Params struct {
+	// CPU.
+	CPUStaticW  float64 // package static + uncore power
+	CoreIdleW   float64 // per-core idle power
+	DynEnergyPJ float64 // per-instruction dynamic energy (pJ)
+	// DRAM, per rank / per operation.
+	RankBackgroundW  float64 // active-idle background power per rank
+	SelfRefreshW     float64 // background power per rank in self-refresh
+	ActivateEnergyPJ float64 // per ACT (row open+close)
+	BurstEnergyPJ    float64 // per 64B read or write burst (core array)
+	IOEnergyPJ       float64 // per 64B burst on the bus (termination/IO)
+}
+
+// DefaultParams returns the calibrated coefficients.
+func DefaultParams() Params {
+	return Params{
+		CPUStaticW:       22,
+		CoreIdleW:        2.4,
+		DynEnergyPJ:      320,
+		RankBackgroundW:  0.9,
+		SelfRefreshW:     0.15,
+		ActivateEnergyPJ: 4000,
+		BurstEnergyPJ:    8000,
+		IOEnergyPJ:       6000,
+	}
+}
+
+// Breakdown is the per-run energy result.
+type Breakdown struct {
+	CPUJ  float64 // CPU energy in joules
+	DRAMJ float64 // DRAM energy in joules
+	EPIpJ float64 // (CPU+DRAM) energy per instruction, picojoules
+	// MemoryShare is DRAM power / total power over the run.
+	MemoryShare float64
+}
+
+// writeTargets returns how many ranks one write transaction updates.
+func writeTargets(design memctrl.Replication) float64 {
+	switch design {
+	case memctrl.ReplicationFMR, memctrl.ReplicationHeteroDMR:
+		return 2
+	case memctrl.ReplicationHeteroDMRFMR:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// Evaluate computes the energy breakdown of a node run.
+func Evaluate(p Params, res node.Result, h node.Hierarchy) Breakdown {
+	if res.ExecPS <= 0 || res.Instructions <= 0 {
+		panic(fmt.Sprintf("energy: degenerate run %+v", res))
+	}
+	seconds := float64(res.ExecPS) * 1e-12
+
+	cpu := (p.CPUStaticW + p.CoreIdleW*float64(h.Cores)) * seconds
+	cpu += p.DynEnergyPJ * 1e-12 * float64(res.Instructions)
+
+	ranks := float64(h.Channels * 4) // Table IV: 4 ranks/channel
+	// Background: Hetero-DMR parks half the ranks in self-refresh for the
+	// fast-read fraction of the run.
+	bg := p.RankBackgroundW * ranks * seconds
+	if res.Design.Fast() {
+		// FastPS accumulates fast-read time per channel; each channel
+		// parks its two original ranks in self-refresh during that time.
+		fastSec := float64(res.Mem.FastPS) * 1e-12
+		if max := seconds * float64(h.Channels); fastSec > max {
+			fastSec = max
+		}
+		bg -= (p.RankBackgroundW - p.SelfRefreshW) * 2 * fastSec
+		if bg < 0 {
+			bg = 0
+		}
+	}
+	acts := float64(res.Activates) * p.ActivateEnergyPJ * 1e-12
+	reads := float64(res.Mem.Reads) * (p.BurstEnergyPJ + p.IOEnergyPJ) * 1e-12
+	// Broadcast writes charge the array energy in every target rank but
+	// the bus/IO energy once ("writing twice for each memory write
+	// request" increases DRAM write power).
+	writes := float64(res.Mem.Writes) *
+		(p.BurstEnergyPJ*writeTargets(res.Design) + p.IOEnergyPJ) * 1e-12
+	dram := bg + acts + reads + writes
+
+	total := cpu + dram
+	return Breakdown{
+		CPUJ:        cpu,
+		DRAMJ:       dram,
+		EPIpJ:       total / float64(res.Instructions) * 1e12,
+		MemoryShare: dram / total,
+	}
+}

@@ -1,0 +1,103 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/dramspec"
+	"repro/internal/memctrl"
+	"repro/internal/node"
+	"repro/internal/workload"
+)
+
+func run(t *testing.T, repl memctrl.Replication) node.Result {
+	t.Helper()
+	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, 800)
+	cfg := node.Config{
+		H:                   node.Hierarchy1(),
+		Replication:         repl,
+		Spec:                spec,
+		InstructionsPerCore: 40_000,
+		WarmupInstructions:  10_000,
+		Seed:                1,
+	}
+	if repl.Fast() {
+		fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, 800)
+		cfg.Fast = &fast
+	}
+	return node.MustRun(cfg, workload.ByName("hpcg"))
+}
+
+func TestMemoryShareNear18Percent(t *testing.T) {
+	b := Evaluate(DefaultParams(), run(t, memctrl.ReplicationNone), node.Hierarchy1())
+	if b.MemoryShare < 0.08 || b.MemoryShare > 0.30 {
+		t.Errorf("memory power share %.3f, calibration target ~0.18", b.MemoryShare)
+	}
+}
+
+func TestEnergyPositive(t *testing.T) {
+	b := Evaluate(DefaultParams(), run(t, memctrl.ReplicationNone), node.Hierarchy1())
+	if b.CPUJ <= 0 || b.DRAMJ <= 0 || b.EPIpJ <= 0 {
+		t.Errorf("non-positive energy: %+v", b)
+	}
+}
+
+func TestHeteroDMRImprovesEPI(t *testing.T) {
+	base := Evaluate(DefaultParams(), run(t, memctrl.ReplicationNone), node.Hierarchy1())
+	hdmr := Evaluate(DefaultParams(), run(t, memctrl.ReplicationHeteroDMR), node.Hierarchy1())
+	ratio := hdmr.EPIpJ / base.EPIpJ
+	// Fig 13: ~6% EPI improvement on average; allow a generous band but
+	// require Hetero-DMR not to cost energy.
+	if ratio > 1.02 {
+		t.Errorf("Hetero-DMR EPI ratio %.3f, paper says ~0.94", ratio)
+	}
+	if ratio < 0.75 {
+		t.Errorf("Hetero-DMR EPI ratio %.3f implausibly low", ratio)
+	}
+}
+
+func TestBroadcastWritesCostMoreDRAMEnergy(t *testing.T) {
+	p := DefaultParams()
+	res := run(t, memctrl.ReplicationNone)
+	single := Evaluate(p, res, node.Hierarchy1())
+	// Same run, recharged as if writes were broadcast to two ranks.
+	res.Design = memctrl.ReplicationFMR
+	double := Evaluate(p, res, node.Hierarchy1())
+	if double.DRAMJ <= single.DRAMJ {
+		t.Error("broadcast write accounting did not increase DRAM energy")
+	}
+	res.Design = memctrl.ReplicationHeteroDMRFMR
+	triple := Evaluate(p, res, node.Hierarchy1())
+	if triple.DRAMJ <= double.DRAMJ {
+		t.Error("triple-target writes not above double")
+	}
+}
+
+func TestSelfRefreshSavesBackground(t *testing.T) {
+	p := DefaultParams()
+	res := run(t, memctrl.ReplicationHeteroDMR)
+	with := Evaluate(p, res, node.Hierarchy1())
+	noFast := res
+	noFast.Mem.FastPS = 0
+	without := Evaluate(p, noFast, node.Hierarchy1())
+	if with.DRAMJ >= without.DRAMJ {
+		t.Error("self-refresh parking did not reduce DRAM background energy")
+	}
+}
+
+func TestEvaluatePanicsOnDegenerateRun(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate run accepted")
+		}
+	}()
+	Evaluate(DefaultParams(), node.Result{}, node.Hierarchy1())
+}
+
+func TestWriteTargets(t *testing.T) {
+	if writeTargets(memctrl.ReplicationNone) != 1 ||
+		writeTargets(memctrl.ReplicationFMR) != 2 ||
+		writeTargets(memctrl.ReplicationHeteroDMR) != 2 ||
+		writeTargets(memctrl.ReplicationHeteroDMRFMR) != 3 {
+		t.Error("write target counts wrong")
+	}
+}

@@ -1,0 +1,202 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation; every cmd/ binary, example, and benchmark
+// regenerates paper artifacts through this package. Results are rendered
+// as report.Tables whose rows mirror the rows/series the paper reports.
+//
+// The per-experiment index in DESIGN.md maps each driver to the paper
+// artifact and the modules it exercises; EXPERIMENTS.md records
+// paper-reported vs measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dramspec"
+	"repro/internal/margin"
+	"repro/internal/memctrl"
+	"repro/internal/memuse"
+	"repro/internal/node"
+	"repro/internal/workload"
+)
+
+// Options configure a run of the experiment suite.
+type Options struct {
+	// Seed drives every synthetic population and simulation.
+	Seed uint64
+	// Quick shrinks trial counts, instruction budgets, and benchmark
+	// coverage (one benchmark per suite) so benches and CI stay fast.
+	Quick bool
+	// Seeds averages node simulations over this many seeds to damp the
+	// run-to-run variance of short measured regions (default: 1 in Quick
+	// mode, 3 otherwise).
+	Seeds int
+}
+
+// Suite carries shared state across experiment drivers: the generated
+// DIMM population, the Fig 1 job fractions, and a cache of node-level
+// simulation results so figures 12-16 share runs.
+type Suite struct {
+	opt Options
+
+	pop      *margin.Population
+	fracOnce bool
+	frac     memuse.Fractions
+
+	runs map[runKey]node.Result
+}
+
+// New returns a Suite. Seed 0 becomes 1.
+func New(opt Options) *Suite {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.Seeds <= 0 {
+		if opt.Quick {
+			opt.Seeds = 1
+		} else {
+			opt.Seeds = 3
+		}
+	}
+	return &Suite{opt: opt, runs: make(map[runKey]node.Result)}
+}
+
+// Population lazily generates the 119-module study population.
+func (s *Suite) Population() *margin.Population {
+	if s.pop == nil {
+		s.pop = margin.GeneratePopulation(s.opt.Seed)
+	}
+	return s.pop
+}
+
+// Fractions lazily computes the Fig 1 job memory-utilization fractions.
+func (s *Suite) Fractions() memuse.Fractions {
+	if !s.fracOnce {
+		jobs := s.opt.jobCount()
+		s.frac = memuse.Analyze(memuse.Generate(memuse.GeneratorConfig{Jobs: jobs, Seed: s.opt.Seed}))
+		s.fracOnce = true
+	}
+	return s.frac
+}
+
+func (o Options) jobCount() int {
+	if o.Quick {
+		return 5_000
+	}
+	return 58_000
+}
+
+// benchmarks returns the benchmark set: everything, or one per suite in
+// Quick mode.
+func (s *Suite) benchmarks() []workload.Profile {
+	if !s.opt.Quick {
+		return workload.Profiles()
+	}
+	var out []workload.Profile
+	seen := map[string]bool{}
+	for _, p := range workload.Profiles() {
+		if !seen[p.Suite] {
+			seen[p.Suite] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// design identifies a memory system under test.
+type design struct {
+	repl      memctrl.Replication
+	setting   dramspec.Setting // operating point of the whole system (Fig 5) or of the fast copies
+	marginMTs dramspec.DataRate
+}
+
+type runKey struct {
+	hier  string
+	d     design
+	bench string
+	seed  uint64
+}
+
+// run executes (and caches) one node simulation at one seed.
+func (s *Suite) run(h node.Hierarchy, d design, prof workload.Profile) node.Result {
+	return s.runSeed(h, d, prof, s.opt.Seed)
+}
+
+func (s *Suite) runSeed(h node.Hierarchy, d design, prof workload.Profile, seed uint64) node.Result {
+	key := runKey{hier: h.Name, d: d, bench: prof.Name, seed: seed}
+	if r, ok := s.runs[key]; ok {
+		return r
+	}
+	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, d.marginMTs)
+	cfg := node.Config{
+		H:           h,
+		Replication: d.repl,
+		Spec:        spec,
+		Seed:        seed,
+	}
+	if d.repl == memctrl.ReplicationNone && d.setting != dramspec.SettingSpec {
+		// Whole-system margin exploitation (Fig 5's real-system settings).
+		cfg.Spec = dramspec.TableII(d.setting, dramspec.DDR4_3200, d.marginMTs)
+	}
+	if d.repl.Fast() {
+		fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, d.marginMTs)
+		cfg.Fast = &fast
+	}
+	if s.opt.Quick {
+		cfg.InstructionsPerCore = 40_000
+		cfg.WarmupInstructions = 15_000
+	}
+	res := node.MustRun(cfg, prof)
+	s.runs[key] = res
+	return res
+}
+
+// suiteAverage averages a per-benchmark metric with the paper's
+// equal-suite weighting (every suite counts once regardless of its
+// benchmark count).
+func (s *Suite) suiteAverage(metric func(prof workload.Profile) float64) float64 {
+	bySuite := map[string][]float64{}
+	for _, p := range s.benchmarks() {
+		bySuite[p.Suite] = append(bySuite[p.Suite], metric(p))
+	}
+	var total float64
+	var n int
+	for _, vals := range bySuite {
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		total += sum / float64(len(vals))
+		n++
+	}
+	if n == 0 {
+		panic("experiments: no benchmarks")
+	}
+	return total / float64(n)
+}
+
+// metric averages f over the configured seeds for one (machine, design,
+// benchmark) triple.
+func (s *Suite) metric(h node.Hierarchy, d design, prof workload.Profile, f func(node.Result) float64) float64 {
+	var sum float64
+	for i := 0; i < s.opt.Seeds; i++ {
+		sum += f(s.runSeed(h, d, prof, s.opt.Seed+uint64(i)*131))
+	}
+	return sum / float64(s.opt.Seeds)
+}
+
+// speedup returns seed-averaged baseline-exec / design-exec for one
+// benchmark.
+func (s *Suite) speedup(h node.Hierarchy, d design, prof workload.Profile) float64 {
+	var sum float64
+	base := design{repl: memctrl.ReplicationNone, setting: dramspec.SettingSpec}
+	for i := 0; i < s.opt.Seeds; i++ {
+		seed := s.opt.Seed + uint64(i)*131
+		b := s.runSeed(h, base, prof, seed)
+		r := s.runSeed(h, d, prof, seed)
+		sum += float64(b.ExecPS) / float64(r.ExecPS)
+	}
+	return sum / float64(s.opt.Seeds)
+}
+
+// fmtPct renders a fraction as a percentage string.
+func fmtPct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

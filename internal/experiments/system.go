@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"repro/internal/hpc"
+	"repro/internal/montecarlo"
+	"repro/internal/node"
+	"repro/internal/report"
+)
+
+// Fig11 reproduces Fig 11: Monte-Carlo distributions of channel-level and
+// node-level memory frequency margins under margin-aware and
+// margin-unaware selection.
+func (s *Suite) Fig11() *report.Table {
+	cfg := montecarlo.DefaultConfig(s.opt.Seed)
+	if s.opt.Quick {
+		cfg.Trials = 20_000
+	}
+	t := report.New("Fig 11 — channel/node margin distributions",
+		"level", "selection", ">=0.8GT/s", ">=0.6GT/s", "paper >=0.8", "paper >=0.6")
+	ca := montecarlo.ChannelLevel(cfg, montecarlo.MarginAware)
+	cu := montecarlo.ChannelLevel(cfg, montecarlo.MarginUnaware)
+	na := montecarlo.NodeLevel(cfg, montecarlo.MarginAware)
+	nu := montecarlo.NodeLevel(cfg, montecarlo.MarginUnaware)
+	t.AddRow("channel", "margin-aware", fmtPct(ca.FractionAtLeast(800)), fmtPct(ca.FractionAtLeast(600)), "96%", "-")
+	t.AddRow("channel", "margin-unaware", fmtPct(cu.FractionAtLeast(800)), fmtPct(cu.FractionAtLeast(600)), "80%", "-")
+	t.AddRow("node", "margin-aware", fmtPct(na.FractionAtLeast(800)), fmtPct(na.FractionAtLeast(600)), "62%", "98%")
+	t.AddRow("node", "margin-unaware", fmtPct(nu.FractionAtLeast(800)), fmtPct(nu.FractionAtLeast(600)), "7%", "96%")
+	return t
+}
+
+// NodeMarginGroups returns the margin-aware node groups Fig 17's cluster
+// uses (§III-D3's 62% / 36% / 2% example).
+func (s *Suite) NodeMarginGroups() montecarlo.NodeGroups {
+	cfg := montecarlo.DefaultConfig(s.opt.Seed)
+	if s.opt.Quick {
+		cfg.Trials = 20_000
+	}
+	return montecarlo.NodeLevel(cfg, montecarlo.MarginAware).Groups()
+}
+
+// fig17Scale returns the trace scale (full Grizzly, or reduced in Quick
+// mode).
+func (s *Suite) fig17Scale() (jobs, nodes int, periodS float64) {
+	if s.opt.Quick {
+		return 6_000, 256, hpc.TracePeriodS / 8
+	}
+	return hpc.GrizzlyJobs, hpc.GrizzlyNodes, hpc.TracePeriodS
+}
+
+// Fig17 reproduces Fig 17: system-wide job execution time, queuing delay,
+// and turnaround time of Hetero-DMR normalized to a conventional HPC
+// system, per hierarchy, plus the margin-aware vs default scheduler
+// comparison and the +17%-nodes control experiment.
+func (s *Suite) Fig17() *report.Table {
+	jobs, nodes, period := s.fig17Scale()
+	tr := hpc.GenerateTrace(jobs, nodes, period, hpc.TargetNodeUtil, s.Fractions(), s.opt.Seed)
+	groups := s.NodeMarginGroups()
+
+	conv := hpc.Simulate(tr, hpc.UniformCluster(nodes, 0), hpc.PolicyDefault, hpc.ConventionalModel, s.opt.Seed)
+
+	t := report.New("Fig 17 — system-wide speedups over a conventional HPC system",
+		"hierarchy", "system", "exec-time speedup", "queue-delay reduction", "turnaround speedup")
+	for _, h := range node.Hierarchies() {
+		at800, at600 := s.HeteroDMRWeightedSpeedup(h)
+		if at800 < 1 {
+			at800 = 1
+		}
+		if at600 < 1 {
+			at600 = 1
+		}
+		if at600 > at800 {
+			at600 = at800
+		}
+		model := hpc.HeteroDMRModel(at800, at600)
+		cluster := hpc.GroupedCluster(nodes, groups.At800, groups.At600)
+
+		aware := hpc.Simulate(tr, cluster, hpc.PolicyMarginAware, model, s.opt.Seed)
+		deflt := hpc.Simulate(tr, cluster, hpc.PolicyDefault, model, s.opt.Seed)
+
+		addRow := func(name string, r *hpc.Result) {
+			queueRed := 0.0
+			if conv.MeanWaitS > 0 {
+				queueRed = 1 - r.MeanWaitS/conv.MeanWaitS
+			}
+			t.AddRowf(h.Name, name,
+				conv.MeanExecS/r.MeanExecS,
+				fmtPct(queueRed),
+				conv.MeanTurnaround/r.MeanTurnaround)
+		}
+		addRow("Hetero-DMR (margin-aware sched)", aware)
+		addRow("Hetero-DMR (default sched)", deflt)
+	}
+	// Control: 17% more conventional nodes.
+	more := hpc.Simulate(tr, hpc.UniformCluster(nodes+nodes*17/100, 0), hpc.PolicyDefault, hpc.ConventionalModel, s.opt.Seed)
+	qr := 0.0
+	if conv.MeanWaitS > 0 {
+		qr = 1 - more.MeanWaitS/conv.MeanWaitS
+	}
+	t.AddRowf("-", "conventional +17% nodes (control)",
+		conv.MeanExecS/more.MeanExecS, fmtPct(qr), conv.MeanTurnaround/more.MeanTurnaround)
+	t.Note("paper: 1.17x execution, ~34%% queue-delay reduction, 1.4x turnaround; +17%% nodes cuts queuing ~33%%")
+	return t
+}

@@ -1,0 +1,161 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8) with
+// the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field
+// used by the Reed-Solomon codes in internal/rs. Hetero-DMR's Bamboo-style
+// ECC (eight Reed-Solomon bytes over a 64-byte memory block, §III-B of the
+// paper) is built on this field.
+package gf256
+
+// Poly is the primitive polynomial generating the field, with the x^8 term
+// included (0x11D = x^8+x^4+x^3+x^2+1).
+const Poly = 0x11D
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	expTable [512]byte // doubled so Mul can skip a mod 255
+	logTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition and subtraction coincide (XOR).
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8); identical to Add.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). It panics if b == 0.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])-int(logTable[b])+255]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns alpha^i where alpha is the primitive element (2).
+// i may be any non-negative integer.
+func Exp(i int) byte {
+	if i < 0 {
+		panic("gf256: negative exponent")
+	}
+	return expTable[i%255]
+}
+
+// Log returns the discrete logarithm of a to base alpha. It panics if
+// a == 0, which has no logarithm.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// Pow returns a^n in GF(2^8). 0^0 is defined as 1.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	if n < 0 {
+		panic("gf256: negative power")
+	}
+	return expTable[(int(logTable[a])*n)%255]
+}
+
+// PolyEval evaluates the polynomial p (coefficients in ascending-degree
+// order: p[0] + p[1]x + ...) at x.
+func PolyEval(p []byte, x byte) byte {
+	// Horner's method from the highest degree down.
+	var acc byte
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = Mul(acc, x) ^ p[i]
+	}
+	return acc
+}
+
+// PolyMul multiplies two polynomials (ascending-degree coefficients) over
+// GF(2^8) and returns the product.
+func PolyMul(a, b []byte) []byte {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] ^= Mul(ai, bj)
+		}
+	}
+	return out
+}
+
+// PolyAdd adds two polynomials (ascending-degree coefficients).
+func PolyAdd(a, b []byte) []byte {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]byte, n)
+	copy(out, a)
+	for i, bi := range b {
+		out[i] ^= bi
+	}
+	return out
+}
+
+// PolyScale multiplies every coefficient of p by c.
+func PolyScale(p []byte, c byte) []byte {
+	out := make([]byte, len(p))
+	for i, pi := range p {
+		out[i] = Mul(pi, c)
+	}
+	return out
+}
+
+// PolyDeg returns the degree of p, ignoring trailing zero coefficients.
+// The zero polynomial has degree -1.
+func PolyDeg(p []byte) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}

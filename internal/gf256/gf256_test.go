@@ -1,0 +1,209 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Error("Add is not XOR")
+	}
+	if Sub(0x53, 0xCA) != Add(0x53, 0xCA) {
+		t.Error("Sub != Add")
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// In GF(2^8)/0x11D: 2*2=4, and alpha^255 = 1 so Exp(255)==Exp(0)==1.
+	if Mul(2, 2) != 4 {
+		t.Errorf("2*2 = %d", Mul(2, 2))
+	}
+	if Exp(0) != 1 || Exp(255) != 1 {
+		t.Errorf("Exp(0)=%d Exp(255)=%d", Exp(0), Exp(255))
+	}
+	if Mul(0, 77) != 0 || Mul(77, 0) != 0 {
+		t.Error("multiplication by zero not zero")
+	}
+	if Mul(1, 77) != 77 {
+		t.Error("multiplication by one not identity")
+	}
+}
+
+func TestMulCommutativeAssociative(t *testing.T) {
+	comm := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	dist := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(dist, nil); err != nil {
+		t.Error("distributivity:", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := Inv(byte(a))
+		if Mul(byte(a), inv) != 1 {
+			t.Fatalf("a=%d: a*Inv(a) = %d", a, Mul(byte(a), inv))
+		}
+	}
+}
+
+func TestDivMulRoundTrip(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestLogExpRoundTrip(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("Exp(Log(%d)) != %d", a, a)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("0^0 != 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Error("0^5 != 0")
+	}
+	f := func(a byte, nRaw uint8) bool {
+		n := int(nRaw % 16)
+		want := byte(1)
+		for i := 0; i < n; i++ {
+			want = Mul(want, a)
+		}
+		return Pow(a, n) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// p(x) = 3 + 2x, p(1) = 1 (3 XOR 2).
+	if PolyEval([]byte{3, 2}, 1) != 1 {
+		t.Errorf("PolyEval = %d", PolyEval([]byte{3, 2}, 1))
+	}
+	// Evaluating at 0 gives the constant term.
+	if PolyEval([]byte{7, 9, 13}, 0) != 7 {
+		t.Error("PolyEval at 0 not constant term")
+	}
+	if PolyEval(nil, 5) != 0 {
+		t.Error("empty poly should evaluate to 0")
+	}
+}
+
+func TestPolyMulDegree(t *testing.T) {
+	a := []byte{1, 1}    // 1 + x
+	b := []byte{2, 0, 1} // 2 + x^2
+	p := PolyMul(a, b)
+	if len(p) != 4 {
+		t.Fatalf("product length %d", len(p))
+	}
+	// (1+x)(2+x^2) = 2 + 2x + x^2 + x^3
+	want := []byte{2, 2, 1, 1}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("coeff %d = %d, want %d", i, p[i], want[i])
+		}
+	}
+}
+
+// Property: evaluation is a ring homomorphism — eval(a*b, x) = eval(a,x)*eval(b,x).
+func TestPolyMulEvalHomomorphism(t *testing.T) {
+	f := func(a, b [4]byte, x byte) bool {
+		pa, pb := a[:], b[:]
+		return PolyEval(PolyMul(pa, pb), x) == Mul(PolyEval(pa, x), PolyEval(pb, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyAddEvalHomomorphism(t *testing.T) {
+	f := func(a [3]byte, b [5]byte, x byte) bool {
+		pa, pb := a[:], b[:]
+		return PolyEval(PolyAdd(pa, pb), x) == Add(PolyEval(pa, x), PolyEval(pb, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyScale(t *testing.T) {
+	p := PolyScale([]byte{1, 2, 3}, 2)
+	want := []byte{Mul(1, 2), Mul(2, 2), Mul(3, 2)}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("scale coeff %d = %d, want %d", i, p[i], want[i])
+		}
+	}
+}
+
+func TestPolyDeg(t *testing.T) {
+	if PolyDeg(nil) != -1 {
+		t.Error("deg(nil) != -1")
+	}
+	if PolyDeg([]byte{0, 0}) != -1 {
+		t.Error("deg(zero poly) != -1")
+	}
+	if PolyDeg([]byte{5, 0, 3, 0}) != 2 {
+		t.Error("deg with trailing zeros wrong")
+	}
+}
+
+func TestExpPeriodicity(t *testing.T) {
+	for i := 0; i < 255; i++ {
+		if Exp(i) != Exp(i+255) {
+			t.Fatalf("Exp not periodic at %d", i)
+		}
+	}
+}
+
+func TestFieldHasNoZeroDivisors(t *testing.T) {
+	f := func(a, b byte) bool {
+		if a != 0 && b != 0 {
+			return Mul(a, b) != 0
+		}
+		return Mul(a, b) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,313 @@
+package hpc
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Cluster is a set of nodes bucketed by memory frequency margin; nodes
+// within a group are interchangeable.
+type Cluster struct {
+	margins []int // distinct margins, descending
+	total   map[int]int
+}
+
+// NewCluster builds a cluster from margin -> node-count.
+func NewCluster(counts map[int]int) *Cluster {
+	c := &Cluster{total: make(map[int]int)}
+	for m, n := range counts {
+		if n < 0 {
+			panic(fmt.Sprintf("hpc: negative node count for margin %d", m))
+		}
+		if n == 0 {
+			continue
+		}
+		c.margins = append(c.margins, m)
+		c.total[m] = n
+	}
+	if len(c.margins) == 0 {
+		panic("hpc: empty cluster")
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(c.margins)))
+	return c
+}
+
+// UniformCluster is a cluster whose nodes all share one margin (the
+// conventional system uses margin 0).
+func UniformCluster(nodes, marginMTs int) *Cluster {
+	return NewCluster(map[int]int{marginMTs: nodes})
+}
+
+// GroupedCluster splits `nodes` per the Fig 11 node-margin shares.
+func GroupedCluster(nodes int, at800, at600 float64) *Cluster {
+	n800 := int(float64(nodes) * at800)
+	n600 := int(float64(nodes) * at600)
+	rest := nodes - n800 - n600
+	return NewCluster(map[int]int{800: n800, 600: n600, 0: rest})
+}
+
+// Nodes returns the total node count.
+func (c *Cluster) Nodes() int {
+	t := 0
+	for _, n := range c.total {
+		t += n
+	}
+	return t
+}
+
+// JobMetrics is one job's outcome.
+type JobMetrics struct {
+	JobID       int
+	WaitS       float64
+	ExecS       float64
+	TurnaroundS float64
+	MinMargin   int
+}
+
+// Result aggregates a simulation.
+type Result struct {
+	Jobs           []JobMetrics
+	MeanWaitS      float64
+	MeanExecS      float64
+	MeanTurnaround float64
+	// P50WaitS/P95WaitS summarize the queuing-delay distribution; means
+	// alone hide the tail that users experience during campaigns.
+	P50WaitS float64
+	P95WaitS float64
+}
+
+func (r *Result) finalize() {
+	var w, e, t float64
+	for i := range r.Jobs {
+		w += r.Jobs[i].WaitS
+		e += r.Jobs[i].ExecS
+		t += r.Jobs[i].TurnaroundS
+	}
+	n := float64(len(r.Jobs))
+	if n == 0 {
+		return
+	}
+	r.MeanWaitS, r.MeanExecS, r.MeanTurnaround = w/n, e/n, t/n
+	waits := make([]float64, len(r.Jobs))
+	for i := range r.Jobs {
+		waits[i] = r.Jobs[i].WaitS
+	}
+	r.P50WaitS = stats.Percentile(waits, 50)
+	r.P95WaitS = stats.Percentile(waits, 95)
+}
+
+// running is the completion min-heap.
+type running struct {
+	endS  float64
+	alloc map[int]int // margin -> node count
+	job   *Job
+	min   int
+}
+
+type runHeap []*running
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return h[i].endS < h[j].endS }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*running)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Simulate runs the trace through the scheduler and returns per-job
+// metrics. The cluster, policy, and speedup model together define the
+// system (conventional = uniform margin-0 cluster + ConventionalModel).
+func Simulate(tr *Trace, cluster *Cluster, policy Policy, model SpeedupModel, seed uint64) *Result {
+	if tr == nil || cluster == nil || model == nil {
+		panic("hpc: nil simulation inputs")
+	}
+	rng := xrand.New(seed)
+	free := make(map[int]int, len(cluster.total))
+	for m, n := range cluster.total {
+		free[m] = n
+	}
+	freeTotal := cluster.Nodes()
+
+	var run runHeap
+	heap.Init(&run)
+	res := &Result{}
+	queue := []*Job{} // FCFS
+	next := 0         // next arrival index
+	now := 0.0
+
+	start := func(j *Job, t float64) {
+		alloc, min := allocate(cluster, free, j.Nodes, policy, rng)
+		for m, n := range alloc {
+			free[m] -= n
+		}
+		freeTotal -= j.Nodes
+		exec := j.BaseS / model(min, j.Bucket)
+		heap.Push(&run, &running{endS: t + exec, alloc: alloc, job: j, min: min})
+		res.Jobs = append(res.Jobs, JobMetrics{
+			JobID: j.ID, WaitS: t - j.SubmitS, ExecS: exec,
+			TurnaroundS: t - j.SubmitS + exec, MinMargin: min,
+		})
+	}
+
+	schedule := func() {
+		// FCFS: start queue heads while they fit.
+		for len(queue) > 0 && queue[0].Nodes <= freeTotal {
+			start(queue[0], now)
+			queue = queue[1:]
+		}
+		if len(queue) == 0 {
+			return
+		}
+		// EASY backfill: reserve for the head, let later jobs jump ahead
+		// if they do not delay it (runtimes are known exactly here).
+		head := queue[0]
+		shadowT, freedAtShadow := shadow(run, freeTotal, head.Nodes)
+		extra := freeTotal + freedAtShadow - head.Nodes
+		for i := 1; i < len(queue) && freeTotal > 0; i++ {
+			j := queue[i]
+			if j.Nodes > freeTotal {
+				continue
+			}
+			// Backfill decisions use user runtime estimates, which are
+			// notoriously inflated; model them as 2x the actual runtime
+			// (this is what keeps real queues from being backfilled flat).
+			estimate := 2 * j.BaseS
+			if now+estimate <= shadowT || j.Nodes <= extra {
+				start(j, now)
+				if j.Nodes > extra {
+					extra = 0
+				} else if now+estimate > shadowT {
+					extra -= j.Nodes
+				}
+				queue = append(queue[:i], queue[i+1:]...)
+				i--
+			}
+		}
+	}
+
+	for next < len(tr.Jobs) || run.Len() > 0 {
+		// Next event: arrival or completion.
+		var tArr, tEnd float64 = -1, -1
+		if next < len(tr.Jobs) {
+			tArr = tr.Jobs[next].SubmitS
+		}
+		if run.Len() > 0 {
+			tEnd = run[0].endS
+		}
+		if tArr >= 0 && (tEnd < 0 || tArr <= tEnd) {
+			now = tArr
+			queue = append(queue, &tr.Jobs[next])
+			next++
+		} else {
+			now = tEnd
+			done := heap.Pop(&run).(*running)
+			for m, n := range done.alloc {
+				free[m] += n
+			}
+			freeTotal += done.job.Nodes
+		}
+		schedule()
+	}
+	res.finalize()
+	return res
+}
+
+// shadow computes when the queue head could start (jobs finish in end
+// order until enough nodes are free) and how many nodes will be free then
+// beyond the head's need.
+func shadow(run runHeap, freeNow, need int) (shadowT float64, freedAtShadow int) {
+	if freeNow >= need {
+		return 0, 0
+	}
+	ends := make([]*running, len(run))
+	copy(ends, run)
+	sort.Slice(ends, func(i, j int) bool { return ends[i].endS < ends[j].endS })
+	acc := freeNow
+	for _, r := range ends {
+		acc += r.job.Nodes
+		if acc >= need {
+			return r.endS, acc - need
+		}
+	}
+	return 1e18, 0
+}
+
+// allocate picks nodes for a job and returns the per-group allocation and
+// the minimum margin among them (the job's effective speed, §III-D3).
+func allocate(c *Cluster, free map[int]int, need int, policy Policy, rng *xrand.Rand) (map[int]int, int) {
+	alloc := make(map[int]int)
+	min := -1
+	take := func(m, n int) {
+		if n <= 0 {
+			return
+		}
+		alloc[m] += n
+		if min < 0 || m < min {
+			min = m
+		}
+	}
+	switch policy {
+	case PolicyMarginAware:
+		// Fastest single group that fits...
+		for _, m := range c.margins {
+			if free[m] >= need {
+				take(m, need)
+				return alloc, min
+			}
+		}
+		// ...else the fastest `need` free nodes across groups.
+		left := need
+		for _, m := range c.margins {
+			n := free[m]
+			if n > left {
+				n = left
+			}
+			take(m, n)
+			left -= n
+			if left == 0 {
+				break
+			}
+		}
+		if left > 0 {
+			panic("hpc: allocate called without enough free nodes")
+		}
+		return alloc, min
+	default:
+		// Margin-oblivious: draw nodes uniformly from the free pool.
+		left := need
+		for left > 0 {
+			freeTotal := 0
+			for _, m := range c.margins {
+				freeTotal += free[m] - alloc[m]
+			}
+			if freeTotal < left {
+				panic("hpc: allocate called without enough free nodes")
+			}
+			pick := int(rng.Uint64n(uint64(freeTotal)))
+			for _, m := range c.margins {
+				avail := free[m] - alloc[m]
+				if pick < avail {
+					// Take a contiguous chunk from this group to keep the
+					// loop near O(groups).
+					chunk := avail - pick
+					if chunk > left {
+						chunk = left
+					}
+					take(m, chunk)
+					left -= chunk
+					break
+				}
+				pick -= avail
+			}
+		}
+		return alloc, min
+	}
+}

@@ -1,0 +1,64 @@
+package hpc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr, _ := smallTrace(21)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalNodes != tr.TotalNodes || got.PeriodS != tr.PeriodS {
+		t.Errorf("header mismatch: %+v vs %+v", got.TotalNodes, tr.TotalNodes)
+	}
+	if len(got.Jobs) != len(tr.Jobs) {
+		t.Fatalf("job count %d vs %d", len(got.Jobs), len(tr.Jobs))
+	}
+	for i := range got.Jobs {
+		if got.Jobs[i] != tr.Jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, got.Jobs[i], tr.Jobs[i])
+		}
+	}
+}
+
+func TestReadTraceValidation(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"garbage", "{nope"},
+		{"no nodes", `{"total_nodes":0,"period_s":10,"jobs":[{"id":1,"submit_s":0,"nodes":1,"base_s":1,"bucket":0}]}`},
+		{"no jobs", `{"total_nodes":4,"period_s":10,"jobs":[]}`},
+		{"too many nodes", `{"total_nodes":4,"period_s":10,"jobs":[{"id":1,"submit_s":0,"nodes":9,"base_s":1,"bucket":0}]}`},
+		{"bad runtime", `{"total_nodes":4,"period_s":10,"jobs":[{"id":1,"submit_s":0,"nodes":1,"base_s":0,"bucket":0}]}`},
+		{"bad bucket", `{"total_nodes":4,"period_s":10,"jobs":[{"id":1,"submit_s":0,"nodes":1,"base_s":1,"bucket":7}]}`},
+		{"unsorted", `{"total_nodes":4,"period_s":10,"jobs":[{"id":1,"submit_s":5,"nodes":1,"base_s":1,"bucket":0},{"id":2,"submit_s":1,"nodes":1,"base_s":1,"bucket":0}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c.body)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLoadedTraceSimulates(t *testing.T) {
+	tr, nodes := smallTrace(22)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Simulate(tr, UniformCluster(nodes, 0), PolicyDefault, ConventionalModel, 1)
+	b := Simulate(loaded, UniformCluster(nodes, 0), PolicyDefault, ConventionalModel, 1)
+	if a.MeanTurnaround != b.MeanTurnaround {
+		t.Error("loaded trace simulates differently from the original")
+	}
+}

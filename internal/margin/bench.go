@@ -1,0 +1,182 @@
+package margin
+
+import (
+	"fmt"
+
+	"repro/internal/dramspec"
+	"repro/internal/xrand"
+)
+
+// Bench is the virtual single-module test machine of §II-A: a module is
+// installed alone, the data rate is swept in 200 MT/s BIOS steps, and a
+// one-hour stress test decides whether 99.999%+ of accesses are correct.
+// The bench also models the testbed's system-level data-rate cap
+// (4000 MT/s) and the 1.2V standard-voltage constraint.
+type Bench struct {
+	// PlatformCap is the highest data rate the platform sustains
+	// regardless of module margin (§II-A's 4000 MT/s observation).
+	PlatformCap dramspec.DataRate
+	// AmbientC is the chamber temperature (23 or 45 in the paper).
+	AmbientC int
+	rng      *xrand.Rand
+}
+
+// NewBench returns a bench at the given ambient temperature.
+func NewBench(ambientC int, seed uint64) *Bench {
+	return &Bench{
+		PlatformCap: dramspec.PlatformCap,
+		AmbientC:    ambientC,
+		rng:         xrand.New(seed),
+	}
+}
+
+// effectiveMarginMTs is the module's margin under the bench's thermal
+// conditions: a small set of fragile modules lose one BIOS step at 45°C.
+func (b *Bench) effectiveMarginMTs(m *Module, withLatencyMargin bool) float64 {
+	margin := m.TrueMarginMTs
+	if b.AmbientC >= 45 {
+		if m.fragile45C {
+			margin -= float64(dramspec.BIOSStep)
+		}
+		if withLatencyMargin && m.fragile45C {
+			// Fig 6: under freq+lat nine (vs five) modules shrink; model
+			// the extra fragility as one more step for fragile parts.
+			margin -= float64(dramspec.BIOSStep) / 2
+		}
+		if margin < 0 {
+			margin = 0
+		}
+	}
+	return margin
+}
+
+// MeasureMargin runs the §II-A procedure and returns the module's
+// observed frequency margin in MT/s: the highest BIOS step above the
+// manufacturer-specified rate at which the stress test still passes
+// (99.999%+ correct accesses), clamped by the platform cap.
+//
+// The paper verifies that exploiting the conservative latency-margin
+// combination does not change the measured frequency margin; passing
+// withLatencyMargin reproduces that experiment.
+func (b *Bench) MeasureMargin(m *Module, withLatencyMargin bool) dramspec.DataRate {
+	margin := b.effectiveMarginMTs(m, false)
+	if withLatencyMargin {
+		// §II-A: "every module has the same frequency margin as when
+		// operating under the manufacturer specified latency" at 23°C.
+		margin = b.effectiveMarginMTs(m, b.AmbientC >= 45)
+	}
+	observed := dramspec.DataRate(0)
+	for step := dramspec.BIOSStep; ; step += dramspec.BIOSStep {
+		rate := m.SpecRate + step
+		if rate > b.PlatformCap {
+			break
+		}
+		if float64(step) > margin {
+			break
+		}
+		observed = step
+	}
+	return observed
+}
+
+// HighestBootableRate returns the maximum data rate at which the module
+// still boots in this bench — one BIOS step beyond the reliable margin,
+// where the error-rate characterization of Fig 6 runs.
+func (b *Bench) HighestBootableRate(m *Module) dramspec.DataRate {
+	if b.AmbientC >= 45 && m.noBoot45C {
+		// Fig 6 caption: some modules fail to boot at speed in the
+		// thermal chamber.
+		return m.SpecRate
+	}
+	boot := m.SpecRate + b.MeasureMargin(m, false) + dramspec.BIOSStep
+	if boot > b.PlatformCap {
+		boot = b.PlatformCap
+	}
+	return boot
+}
+
+// ErrorResult is the outcome of a one-hour stress test (Fig 6).
+type ErrorResult struct {
+	Module            string
+	RateMTs           dramspec.DataRate
+	AmbientC          int
+	Booted            bool
+	CorrectedErrors   uint64 // CEs over the hour
+	UncorrectedErrors uint64 // UEs over the hour
+}
+
+// Total returns CEs+UEs.
+func (e ErrorResult) Total() uint64 { return e.CorrectedErrors + e.UncorrectedErrors }
+
+// StressTest models the one-hour memory reliability stress test at the
+// given setting. Within the module's margin the error count is zero (the
+// definition of margin); beyond it, errors grow with the overshoot, are
+// 4x worse at 45°C ambient (2x under freq+lat, whose 23°C baseline is
+// already higher), and are halved per module in a fully-populated
+// two-DPC system because each module sees half the accesses (§II-C).
+func (b *Bench) StressTest(m *Module, setting dramspec.Setting, fullyPopulated bool) ErrorResult {
+	marginSteps := b.MeasureMargin(m, setting == dramspec.SettingFreqLatMargin)
+	rate := m.SpecRate
+	switch setting {
+	case dramspec.SettingFrequencyMargin, dramspec.SettingFreqLatMargin:
+		rate = b.HighestBootableRate(m)
+	case dramspec.SettingSpec, dramspec.SettingLatencyMargin:
+		// stays at spec rate
+	default:
+		panic(fmt.Sprintf("margin: unknown setting %v", setting))
+	}
+	res := ErrorResult{Module: m.ID, RateMTs: rate, AmbientC: b.AmbientC, Booted: true}
+	fastSetting := setting == dramspec.SettingFrequencyMargin || setting == dramspec.SettingFreqLatMargin
+	if b.AmbientC >= 45 && m.noBoot45C && fastSetting {
+		res.Booted = false
+		return res
+	}
+	overshoot := float64(rate-m.SpecRate) - float64(marginSteps)
+	if overshoot <= 0 {
+		return res // within margin: zero errors for the hour
+	}
+	// Base hourly error count at one step beyond margin, scaled by the
+	// module's idiosyncrasy and the overshoot.
+	mean := 40.0 * m.errScale * (overshoot / float64(dramspec.BIOSStep))
+	if setting == dramspec.SettingFreqLatMargin {
+		mean *= 2.5 // tighter latencies on top of the overshoot
+	}
+	if b.AmbientC >= 45 {
+		factor := 4.0
+		if setting == dramspec.SettingFreqLatMargin {
+			factor = 2.0 // Fig 6: 2x for freq+lat at 45°C vs its 23°C rate
+		}
+		mean *= factor
+	}
+	if fullyPopulated {
+		mean /= 2 // §II-C: two modules per channel each see half the traffic
+	}
+	total := uint64(b.rng.Poisson(mean))
+	// Most errors are correctable; a tail is uncorrected (Fig 6 shows
+	// both CEs and UEs).
+	ue := uint64(0)
+	for i := uint64(0); i < total; i++ {
+		if b.rng.Bool(0.12) {
+			ue++
+		}
+	}
+	res.CorrectedErrors = total - ue
+	res.UncorrectedErrors = ue
+	return res
+}
+
+// SystemMargin measures the §II-C full-system experiment: all channels
+// and slots populated with identical modules; the memory system's margin
+// is the minimum across modules (they share the channel clock).
+func SystemMargin(bench *Bench, modules []Module) dramspec.DataRate {
+	if len(modules) == 0 {
+		return 0
+	}
+	min := bench.MeasureMargin(&modules[0], false)
+	for i := range modules[1:] {
+		if m := bench.MeasureMargin(&modules[i+1], false); m < min {
+			min = m
+		}
+	}
+	return min
+}

@@ -1,0 +1,136 @@
+package margin
+
+import (
+	"fmt"
+
+	"repro/internal/dramspec"
+	"repro/internal/xrand"
+)
+
+// Profiler implements §III-E's "Determining Margins": Hetero-DMR profiles
+// a node's memory margins at boot time and periodically re-profiles when
+// the node is idle (borrowing the approach of REAPER [65], extended from
+// tREFI to frequency).
+//
+// The crucial property the paper stresses — and the tests verify — is
+// that profiling is relied on for PERFORMANCE only, never reliability:
+// an over-estimated margin merely raises the detected-error rate on the
+// unsafely fast copies, which the detection-only ECC plus
+// correction-from-original machinery absorbs (see internal/heterodmr).
+// A profile can therefore be cheap and slightly wrong, unlike the prior
+// works that must profile conservatively because they rely on profiles
+// for correctness.
+type Profiler struct {
+	bench *Bench
+	// Passes is the number of stress-test passes per data-rate step.
+	// Short profiles finish quickly but can over-estimate the margin by
+	// one BIOS step when a marginal rate happens to pass its few tests.
+	Passes int
+	rng    *xrand.Rand
+
+	profiles   map[string]dramspec.DataRate
+	reprofiled int
+}
+
+// NewProfiler returns a profiler using the given bench. It panics if
+// passes is not positive.
+func NewProfiler(bench *Bench, passes int, seed uint64) *Profiler {
+	if bench == nil {
+		panic("margin: nil bench")
+	}
+	if passes <= 0 {
+		panic("margin: non-positive profiling passes")
+	}
+	return &Profiler{
+		bench:    bench,
+		Passes:   passes,
+		rng:      xrand.New(seed),
+		profiles: make(map[string]dramspec.DataRate),
+	}
+}
+
+// overestimateProb is the per-profile probability that a short profile
+// passes a marginal step it should not; it decays geometrically with the
+// number of passes (each pass is another chance to catch the error).
+func (p *Profiler) overestimateProb() float64 {
+	prob := 0.5
+	for i := 1; i < p.Passes; i++ {
+		prob *= 0.5
+		if prob < 1e-6 {
+			return 0
+		}
+	}
+	return prob
+}
+
+// ProfileModule estimates a module's frequency margin. The estimate is
+// the bench's true measurement, except that a short profile occasionally
+// reports one BIOS step too many — the failure mode §III-E's discussion
+// of limited profiling duration anticipates.
+func (p *Profiler) ProfileModule(m *Module) dramspec.DataRate {
+	true_ := p.bench.MeasureMargin(m, false)
+	est := true_
+	if p.rng.Bool(p.overestimateProb()) {
+		if m.SpecRate+est+dramspec.BIOSStep <= p.bench.PlatformCap {
+			est += dramspec.BIOSStep
+		}
+	}
+	p.profiles[m.ID] = est
+	return est
+}
+
+// NodeProfile is a profiled node: per-module estimates plus the derived
+// channel/node margins under margin-aware selection.
+type NodeProfile struct {
+	ModuleMargins  map[string]dramspec.DataRate
+	ChannelMargins []dramspec.DataRate
+	NodeMargin     dramspec.DataRate
+}
+
+// ProfileNode profiles a node whose channels each hold modulesPerChannel
+// modules (§III-D1 margin-aware selection picks each channel's fastest
+// module; §III-D2 takes the node margin as the slowest channel's margin).
+// It panics if the modules do not divide evenly into channels.
+func (p *Profiler) ProfileNode(modules []Module, modulesPerChannel int) NodeProfile {
+	if modulesPerChannel <= 0 || len(modules) == 0 || len(modules)%modulesPerChannel != 0 {
+		panic(fmt.Sprintf("margin: %d modules do not fill channels of %d", len(modules), modulesPerChannel))
+	}
+	np := NodeProfile{ModuleMargins: make(map[string]dramspec.DataRate)}
+	for start := 0; start < len(modules); start += modulesPerChannel {
+		best := dramspec.DataRate(0)
+		for i := start; i < start+modulesPerChannel; i++ {
+			est := p.ProfileModule(&modules[i])
+			np.ModuleMargins[modules[i].ID] = est
+			if est > best {
+				best = est
+			}
+		}
+		np.ChannelMargins = append(np.ChannelMargins, best)
+	}
+	np.NodeMargin = np.ChannelMargins[0]
+	for _, c := range np.ChannelMargins[1:] {
+		if c < np.NodeMargin {
+			np.NodeMargin = c
+		}
+	}
+	return np
+}
+
+// Reprofile re-runs the profile for a module (the periodic idle-time
+// refresh §III-E prescribes) and reports whether the estimate changed —
+// e.g. after a temperature excursion shrank the margin.
+func (p *Profiler) Reprofile(m *Module) (est dramspec.DataRate, changed bool) {
+	old, had := p.profiles[m.ID]
+	est = p.ProfileModule(m)
+	p.reprofiled++
+	return est, had && est != old
+}
+
+// Reprofiles returns how many re-profile operations ran.
+func (p *Profiler) Reprofiles() int { return p.reprofiled }
+
+// Profiled returns the last estimate for a module id, if any.
+func (p *Profiler) Profiled(id string) (dramspec.DataRate, bool) {
+	est, ok := p.profiles[id]
+	return est, ok
+}

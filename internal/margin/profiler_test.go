@@ -1,0 +1,159 @@
+package margin
+
+import (
+	"testing"
+
+	"repro/internal/dramspec"
+)
+
+func TestProfilerValidation(t *testing.T) {
+	b := NewBench(23, 1)
+	for _, f := range []func(){
+		func() { NewProfiler(nil, 5, 1) },
+		func() { NewProfiler(b, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad profiler accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLongProfileMatchesBench(t *testing.T) {
+	pop := GeneratePopulation(1)
+	bench := NewBench(23, 1)
+	p := NewProfiler(bench, 25, 2) // long profile: overestimation vanishes
+	for i := range pop.MajorBrands() {
+		m := &pop.MajorBrands()[i]
+		if got, want := p.ProfileModule(m), bench.MeasureMargin(m, false); got != want {
+			t.Fatalf("module %s: long profile %v != measurement %v", m.ID, got, want)
+		}
+	}
+}
+
+func TestShortProfileSometimesOverestimates(t *testing.T) {
+	pop := GeneratePopulation(1)
+	bench := NewBench(23, 1)
+	p := NewProfiler(bench, 1, 3) // single-pass profile
+	over, under := 0, 0
+	for trial := 0; trial < 20; trial++ {
+		for i := range pop.MajorBrands() {
+			m := &pop.MajorBrands()[i]
+			got := p.ProfileModule(m)
+			want := bench.MeasureMargin(m, false)
+			switch {
+			case got > want:
+				over++
+			case got < want:
+				under++
+			}
+		}
+	}
+	if over == 0 {
+		t.Error("single-pass profiles never overestimated (the §III-E failure mode)")
+	}
+	if under != 0 {
+		t.Errorf("profiles underestimated %d times (model only overestimates)", under)
+	}
+}
+
+func TestProfileNode(t *testing.T) {
+	pop := GeneratePopulation(1)
+	bench := NewBench(23, 1)
+	p := NewProfiler(bench, 25, 4)
+	mods := pop.MajorBrands()[:8] // 4 channels x 2 modules
+	np := p.ProfileNode(mods, 2)
+	if len(np.ChannelMargins) != 4 {
+		t.Fatalf("channel margins %d", len(np.ChannelMargins))
+	}
+	if len(np.ModuleMargins) != 8 {
+		t.Fatalf("module margins %d", len(np.ModuleMargins))
+	}
+	// The node margin is the minimum channel margin; each channel margin
+	// is the max of its two modules.
+	for ci := 0; ci < 4; ci++ {
+		a := np.ModuleMargins[mods[ci*2].ID]
+		b := np.ModuleMargins[mods[ci*2+1].ID]
+		want := a
+		if b > want {
+			want = b
+		}
+		if np.ChannelMargins[ci] != want {
+			t.Errorf("channel %d margin %v, want max(%v,%v)", ci, np.ChannelMargins[ci], a, b)
+		}
+		if np.NodeMargin > np.ChannelMargins[ci] {
+			t.Errorf("node margin %v above channel %d's %v", np.NodeMargin, ci, np.ChannelMargins[ci])
+		}
+	}
+}
+
+func TestProfileNodePanicsOnRaggedChannels(t *testing.T) {
+	pop := GeneratePopulation(1)
+	p := NewProfiler(NewBench(23, 1), 5, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged channel split accepted")
+		}
+	}()
+	p.ProfileNode(pop.MajorBrands()[:5], 2)
+}
+
+func TestReprofileDetectsMarginShift(t *testing.T) {
+	pop := GeneratePopulation(1)
+	// Find a module fragile at 45C so the hot bench reports a smaller
+	// margin than the cold one.
+	var fragile *Module
+	cold := NewBench(23, 6)
+	hot := NewBench(45, 6)
+	for i := range pop.MajorBrands() {
+		m := &pop.MajorBrands()[i]
+		if hot.MeasureMargin(m, false) < cold.MeasureMargin(m, false) {
+			fragile = m
+			break
+		}
+	}
+	if fragile == nil {
+		t.Skip("population has no 45C-fragile module at this seed")
+	}
+	pCold := NewProfiler(cold, 25, 7)
+	pCold.ProfileModule(fragile)
+	// Re-profile on the hot bench: a different profiler bound to the hot
+	// chamber conditions.
+	pHot := NewProfiler(hot, 25, 7)
+	pHot.profiles = pCold.profiles // share the profile store
+	_, changed := pHot.Reprofile(fragile)
+	if !changed {
+		t.Error("re-profile did not detect the temperature-induced margin shift")
+	}
+	if pHot.Reprofiles() != 1 {
+		t.Errorf("Reprofiles = %d", pHot.Reprofiles())
+	}
+}
+
+func TestProfiledLookup(t *testing.T) {
+	pop := GeneratePopulation(1)
+	p := NewProfiler(NewBench(23, 1), 5, 8)
+	m := &pop.MajorBrands()[0]
+	if _, ok := p.Profiled(m.ID); ok {
+		t.Error("unprofiled module reported as profiled")
+	}
+	est := p.ProfileModule(m)
+	got, ok := p.Profiled(m.ID)
+	if !ok || got != est {
+		t.Errorf("Profiled = %v/%v, want %v", got, ok, est)
+	}
+}
+
+func TestProfileEstimatesQuantized(t *testing.T) {
+	pop := GeneratePopulation(1)
+	p := NewProfiler(NewBench(23, 1), 1, 9)
+	for i := range pop.Modules {
+		if est := p.ProfileModule(&pop.Modules[i]); est%dramspec.BIOSStep != 0 {
+			t.Fatalf("estimate %v not a BIOS step multiple", est)
+		}
+	}
+}

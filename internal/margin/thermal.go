@@ -1,0 +1,56 @@
+package margin
+
+import (
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Thermal model of §II-A: ambient temperature maps to on-DIMM sensor
+// temperature, and a synthetic Trinitite-like sensor population provides
+// the percentile comparisons the paper makes (the test machine's 43°C
+// idle / 53°C active DIMMs sit above the 99th / 99.85th percentile of
+// the production system's three million measurements).
+
+// DIMMTemperature returns the modelled on-DIMM sensor reading for an
+// ambient temperature, idle or under stress. Calibration points from the
+// paper: 23°C ambient -> 43°C idle, 53°C active; 45°C ambient -> 60°C
+// active.
+func DIMMTemperature(ambientC int, active bool) float64 {
+	if active {
+		// Active rise shrinks at higher ambient (53 at 23°C -> 60 at 45°C).
+		return float64(ambientC) + 30 - 0.6818*float64(ambientC-23)
+	}
+	return float64(ambientC) + 20
+}
+
+// TrinititeSample synthesizes n on-DIMM temperature measurements shaped
+// like the LANL Trinitite SEDC dataset: a 16°C minimum (the machine-room
+// ambient) with a well-cooled right-skewed distribution whose p99 sits
+// below 43°C and p99.991 below 60°C.
+func TrinititeSample(n int, seed uint64) []float64 {
+	rng := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		v := 16 + rng.LogNormal(2.0, 0.45) - 6
+		if v < 16 {
+			v = 16
+		}
+		if v > 70 {
+			v = 70
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// PercentileOf returns the fraction of xs strictly below v.
+func PercentileOf(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	lo := sort.SearchFloat64s(s, v)
+	return float64(lo) / float64(len(s))
+}

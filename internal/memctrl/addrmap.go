@@ -1,0 +1,83 @@
+package memctrl
+
+// Address mapping: physical address -> (rank, bank, row, column) with an
+// XOR-based bank index similar to Intel Skylake (Table IV cites the
+// DRAMA-reverse-engineered mapping): the bank bits are XORed with the low
+// row bits so that strided streams spread across banks.
+//
+// Bit layout of the block address (addr >> log2(BlockBytes)), low to high:
+//
+//	[ column | bank | rank | row ]
+//
+// Replication modes fold the software-visible rank bits into the in-use
+// module(s) — the paper's free-memory layout where the original data
+// occupies half (Hetero-DMR, FMR) or a quarter (Hetero-DMR+FMR) of the
+// ranks and copies live at the same in-module location of the free module.
+
+// decode splits an address into its original-module placement.
+func (c *Channel) decode(addr uint64) (rank, bank int, row int64) {
+	ba := addr / uint64(c.cfg.BlockBytes)
+	ba >>= uint(c.colBits)
+	bank = int(ba & uint64(c.cfg.BanksPerRank-1))
+	ba >>= uint(c.bankBits)
+	rank = int(ba & uint64(c.cfg.Ranks-1))
+	ba >>= uint(c.rankBits)
+	row = int64(ba)
+	// XOR-based bank hashing against the low row bits.
+	bank ^= int(uint64(row) & uint64(c.cfg.BanksPerRank-1))
+	// Fold the rank into the in-use portion of the channel.
+	switch c.cfg.Replication {
+	case ReplicationFMR, ReplicationHeteroDMR:
+		rank &= c.cfg.Ranks/2 - 1 // originals confined to the first module(s)
+	case ReplicationHeteroDMRFMR:
+		rank = 0 // <25% utilization: originals fit one rank
+	}
+	return rank, bank, row
+}
+
+// copyRanksOf returns the rank indices holding copies of the block whose
+// original lives in origRank. Empty for the baseline.
+func (c *Channel) copyRanksOf(origRank int) []int {
+	half := c.cfg.Ranks / 2
+	switch c.cfg.Replication {
+	case ReplicationFMR, ReplicationHeteroDMR:
+		return []int{origRank + half}
+	case ReplicationHeteroDMRFMR:
+		return []int{half, half + 1}
+	default:
+		return nil
+	}
+}
+
+// readCandidateRanks returns the ranks a read may be served from.
+func (c *Channel) readCandidateRanks(origRank int) []int {
+	switch c.cfg.Replication {
+	case ReplicationNone:
+		return []int{origRank}
+	case ReplicationFMR:
+		// FMR reads whichever replica is in the faster state.
+		return append([]int{origRank}, c.copyRanksOf(origRank)...)
+	case ReplicationHeteroDMR, ReplicationHeteroDMRFMR:
+		if c.fastMode {
+			// Fast read mode must not touch originals (they are in
+			// self-refresh); only copies are candidates.
+			return c.copyRanksOf(origRank)
+		}
+		// Slow phase: everything runs at specification with the originals
+		// awake, so reads pick the best replica like FMR.
+		return append([]int{origRank}, c.copyRanksOf(origRank)...)
+	default:
+		return nil
+	}
+}
+
+// writeTargetRanks returns every rank a write must update; broadcast
+// writes hit all of them in one bus transaction.
+func (c *Channel) writeTargetRanks(origRank int) []int {
+	return append([]int{origRank}, c.copyRanksOf(origRank)...)
+}
+
+// globalBank flattens (rank, bank) for per-bank bookkeeping.
+func (c *Channel) globalBank(rank, bank int) int {
+	return rank*c.cfg.BanksPerRank + bank
+}

@@ -1,0 +1,629 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/dramspec"
+)
+
+// ForwardLatency is the latency of a read satisfied from the write path
+// (write buffer or writeback cache) without touching DRAM.
+const ForwardLatency = 6 * dramspec.Nanosecond
+
+// hitStreakCap bounds consecutive row-hit service per bank so FR-FCFS
+// stays fair to row-miss requesters ("FR-FCFS scheduling policy with bank
+// fairness", Table IV).
+const hitStreakCap = 16
+
+// correctionPenalty returns the timing cost of the §III-C correction flow
+// for a detected copy error: slow the channel to specification, exit the
+// originals from self-refresh, read the original at spec, overwrite the
+// copy, re-enter self-refresh, and speed back up — two frequency switches
+// around a spec-speed access pair.
+func (c *Channel) correctionPenalty() int64 {
+	t := c.cfg.Spec.Timing
+	specAccess := t.TRCD + t.TCL + int64(t.BurstLength/2)*c.cfg.Spec.Rate.ClockPS()
+	return 2*dramspec.FrequencySwitchLatency + 2*specAccess
+}
+
+// SubmitRead enqueues a read for block addr arriving at time `at` and
+// returns its request handle; poll handle.Done or call WaitFor. Reads
+// that hit the pending-write path are forwarded immediately. Arrival
+// times must be non-decreasing across Submit calls.
+func (c *Channel) SubmitRead(addr uint64, at int64) *Request {
+	req := &Request{Addr: addr, Arrive: at}
+	req.rank, req.bank, req.row = c.decode(addr)
+	block := addr / uint64(c.cfg.BlockBytes)
+	// Forward from the write path: the youngest version of the block is
+	// in the write buffer or the writeback cache.
+	if c.pendingWrite(block) {
+		start := at
+		if c.now > start {
+			start = c.now
+		}
+		req.Done = start + ForwardLatency
+		c.stats.WriteForwards++
+		c.stats.ReadLatencySumPS += req.Done - req.Arrive
+		c.stats.ReadCount++
+		return req
+	}
+	for len(c.readQ) >= c.cfg.ReadQueueCap {
+		if !c.step() {
+			panic("memctrl: read queue full but nothing schedulable")
+		}
+	}
+	c.readQ = append(c.readQ, req)
+	return req
+}
+
+// SubmitWrite enqueues a writeback of block addr arriving at time `at`.
+// Writes are posted: the caller never waits on them.
+func (c *Channel) SubmitWrite(addr uint64, at int64) {
+	block := addr / uint64(c.cfg.BlockBytes)
+	if c.wb != nil && !c.writeMode && c.wb.insert(block) {
+		return // parked in the writeback cache
+	}
+	for len(c.writeQ) >= c.cfg.WriteQueueCap && !c.writeMode {
+		if !c.step() {
+			panic("memctrl: write queue full but nothing schedulable")
+		}
+	}
+	req := &Request{Addr: addr, IsWrite: true, Arrive: at}
+	req.rank, req.bank, req.row = c.decode(addr)
+	c.writeQ = append(c.writeQ, req)
+}
+
+// pendingWrite reports whether a block has an outstanding write.
+func (c *Channel) pendingWrite(block uint64) bool {
+	if c.wb != nil && c.wb.contains(block) {
+		return true
+	}
+	for _, w := range c.writeQ {
+		if w.Addr/uint64(c.cfg.BlockBytes) == block {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitFor simulates until req completes and returns its completion time.
+func (c *Channel) WaitFor(req *Request) int64 {
+	for req.Done == 0 {
+		if !c.step() {
+			panic("memctrl: waiting on a request but nothing schedulable")
+		}
+	}
+	return req.Done
+}
+
+// Drain services every queued request (including parked writebacks) and
+// returns the time the channel went idle.
+func (c *Channel) Drain() int64 {
+	for {
+		for c.step() {
+		}
+		pending := len(c.writeQ) > 0 || (c.wb != nil && c.wb.len() > 0)
+		if c.writeMode {
+			return c.now
+		}
+		if !pending {
+			// Leave a Hetero-DMR channel back at the fast point.
+			if c.cfg.Replication.Fast() && !c.fastMode {
+				c.transitionToFast()
+			}
+			return c.now
+		}
+		// Force a final drain for leftover writes.
+		if c.cfg.Replication.Fast() && c.fastMode {
+			c.transitionToSlow()
+		}
+		c.enterWriteMode()
+	}
+}
+
+// step issues one scheduling action (refresh, mode switch, or one request)
+// and returns whether it made progress.
+func (c *Channel) step() bool {
+	if c.serviceRefresh() {
+		return true
+	}
+	c.lazyClose()
+
+	if c.writeMode {
+		// Waiting reads preempt the drain once the write queue falls
+		// below the low watermark — a cheap bus turnaround for every
+		// design, because Hetero-DMR's slow phase already runs everything
+		// at specification with the originals awake (the expensive
+		// frequency switches bracket the whole phase, not each spurt).
+		readsPreempt := len(c.readQ) > 0 && len(c.writeQ) <= c.cfg.WriteQueueCap*3/4
+		if len(c.writeQ) == 0 || readsPreempt ||
+			(!c.cfg.Replication.Fast() && c.batchLeft <= 0) {
+			c.enterReadMode()
+			return true
+		}
+		c.serveWrite()
+		return true
+	}
+
+	// Hetero-DMR's slow phase ends — and the channel speeds back up —
+	// once the §III-A1 batch has drained (or nothing is pending), which
+	// amortizes the two frequency switches over WriteBatch writes.
+	if c.cfg.Replication.Fast() && !c.fastMode {
+		pending := len(c.writeQ) > 0 || (c.wb != nil && c.wb.len() > 0)
+		if c.batchLeft <= 0 || !pending {
+			c.transitionToFast()
+			return true
+		}
+	}
+
+	// Read mode. Switch to write mode when the write buffer is nearly
+	// full — or, when the channel is already at specification, whenever
+	// there is nothing better to do. A fast-mode Hetero-DMR channel first
+	// pays the frequency switch down to spec (transitionToSlow).
+	writePressure := len(c.writeQ) >= c.cfg.WriteQueueCap*7/8
+	atSpec := !c.cfg.Replication.Fast() || !c.fastMode
+	idleDrain := atSpec && len(c.readQ) == 0 && len(c.writeQ) >= c.cfg.WriteQueueCap/4
+	if writePressure || idleDrain {
+		if c.cfg.Replication.Fast() && c.fastMode {
+			c.transitionToSlow()
+		}
+		c.enterWriteMode()
+		return true
+	}
+	if len(c.readQ) == 0 {
+		return false
+	}
+	c.serveRead()
+	return true
+}
+
+// serviceRefresh issues one due auto-refresh, if any.
+func (c *Channel) serviceRefresh() bool {
+	for _, r := range c.ranks {
+		if r.InSelfRefresh() || !r.RefreshDue(c.now) {
+			continue
+		}
+		quiesced := r.PrechargeAll(c.now)
+		end := r.Refresh(quiesced)
+		if end > c.now {
+			// The rank is blocked; other ranks may still work, so do not
+			// advance the channel clock past the refresh.
+			_ = end
+		}
+		return true
+	}
+	return false
+}
+
+// lazyClose implements the hybrid page policy: rows idle beyond the
+// timeout are precharged in the background.
+func (c *Channel) lazyClose() {
+	if c.cfg.PageTimeout <= 0 {
+		return
+	}
+	for ri, r := range c.ranks {
+		if r.InSelfRefresh() {
+			continue
+		}
+		for b := 0; b < c.cfg.BanksPerRank; b++ {
+			if r.Bank(b).OpenRow() == dram.RowClosed {
+				continue
+			}
+			if c.lastUse[c.globalBank(ri, b)]+c.cfg.PageTimeout > c.now {
+				continue
+			}
+			at := r.EarliestPrecharge(b, c.now)
+			if at <= c.now {
+				r.Precharge(b, at)
+			}
+		}
+	}
+}
+
+// pickRead chooses the next read per FR-FCFS with bank fairness and
+// returns its queue index plus the chosen serving rank.
+func (c *Channel) pickRead() (idx, serveRank int) {
+	// First pass: oldest arrived row-hit whose bank's hit streak is not
+	// exhausted.
+	bestIdx := -1
+	bestRank := -1
+	for i, req := range c.readQ {
+		if req.Arrive > c.now {
+			continue
+		}
+		for _, cand := range c.readCandidateRanks(req.rank) {
+			r := c.ranks[cand]
+			if r.InSelfRefresh() {
+				continue
+			}
+			if r.Bank(req.bank).OpenRow() == req.row &&
+				c.hitsInARow[c.globalBank(cand, req.bank)] < hitStreakCap {
+				bestIdx, bestRank = i, cand
+				break
+			}
+		}
+		if bestIdx >= 0 {
+			break
+		}
+	}
+	if bestIdx >= 0 {
+		return bestIdx, bestRank
+	}
+	// Second pass: oldest arrived request; choose the candidate rank that
+	// projects to the earliest column issue (FMR's replica selection).
+	for i, req := range c.readQ {
+		if req.Arrive > c.now {
+			continue
+		}
+		var best int64
+		for _, cand := range c.readCandidateRanks(req.rank) {
+			r := c.ranks[cand]
+			if r.InSelfRefresh() {
+				continue
+			}
+			proj := r.ProjectRead(req.bank, req.row, c.now)
+			if bestRank < 0 || proj < best {
+				best, bestRank = proj, cand
+			}
+		}
+		if bestRank < 0 {
+			panic("memctrl: no serviceable rank for read (all in self-refresh?)")
+		}
+		return i, bestRank
+	}
+	return -1, -1
+}
+
+// openRowFor brings (rank, bank) to the requested row, issuing PRE/ACT as
+// needed, and classifies the access. It returns the earliest column time.
+func (c *Channel) openRowFor(rank *dram.Rank, bank int, row int64) (colReady int64, kind rowOutcome) {
+	switch open := rank.Bank(bank).OpenRow(); {
+	case open == row:
+		return rank.EarliestColumn(bank, c.now), rowHit
+	case open == dram.RowClosed:
+		at := rank.EarliestActivate(bank, c.now)
+		rank.Activate(bank, row, at)
+		return rank.EarliestColumn(bank, at), rowMiss
+	default:
+		pre := rank.EarliestPrecharge(bank, c.now)
+		rank.Precharge(bank, pre)
+		at := rank.EarliestActivate(bank, pre)
+		rank.Activate(bank, row, at)
+		return rank.EarliestColumn(bank, at), rowConflict
+	}
+}
+
+type rowOutcome int
+
+const (
+	rowHit rowOutcome = iota
+	rowMiss
+	rowConflict
+)
+
+func (c *Channel) countOutcome(k rowOutcome) {
+	switch k {
+	case rowHit:
+		c.stats.RowHits++
+	case rowMiss:
+		c.stats.RowMisses++
+	case rowConflict:
+		c.stats.RowConflicts++
+	}
+}
+
+// serveRead services one read request end to end.
+func (c *Channel) serveRead() {
+	idx, serveRank := c.pickRead()
+	if idx < 0 {
+		// Nothing has arrived yet; advance to the earliest arrival.
+		earliest := int64(-1)
+		for _, req := range c.readQ {
+			if earliest < 0 || req.Arrive < earliest {
+				earliest = req.Arrive
+			}
+		}
+		c.now = earliest
+		return
+	}
+	req := c.readQ[idx]
+	rank := c.ranks[serveRank]
+	colReady, outcome := c.openRowFor(rank, req.bank, req.row)
+	c.countOutcome(outcome)
+
+	// The data bus must be free when the burst starts (colAt + tCL).
+	colAt := colReady
+	if earliest := c.busFreeAt - rank.Timing().TCL; colAt < earliest {
+		colAt = earliest
+	}
+	end := rank.Read(req.bank, colAt)
+	c.busFreeAt = end
+	c.stats.BusBusyPS += rank.BurstPS()
+	c.stats.Reads++
+
+	gb := c.globalBank(serveRank, req.bank)
+	c.lastUse[gb] = colAt
+	if outcome == rowHit {
+		c.hitsInARow[gb]++
+	} else {
+		c.hitsInARow[gb] = 1
+	}
+	for k := range c.hitsInARow {
+		if k != gb {
+			delete(c.hitsInARow, k)
+		}
+	}
+
+	done := end + ControllerOverhead
+	// Detection-only ECC on unsafely fast copy reads: a detected error
+	// triggers the §III-C correction flow from the original block.
+	if c.cfg.Replication.Fast() && c.fastMode && c.cfg.CopyErrorRate > 0 && c.rng.Bool(c.cfg.CopyErrorRate) {
+		c.stats.DetectedErrors++
+		c.stats.Corrections++
+		c.stats.FreqSwitches += 2
+		penalty := c.correctionPenalty()
+		done += penalty
+		c.busFreeAt = done
+		if done > c.now {
+			c.now = done
+		}
+	}
+	req.Done = done
+	c.stats.ReadLatencySumPS += done - req.Arrive
+	c.stats.ReadCount++
+	c.advance(colAt)
+	c.readQ = append(c.readQ[:idx], c.readQ[idx+1:]...)
+}
+
+// advance moves the controller clock toward the just-issued column time
+// while keeping an overlap window open: commands for OTHER banks may still
+// issue up to a row-cycle behind the bus, which is what lets bank-level
+// parallelism hide PRE/ACT latency under data bursts. Without the window
+// the scheduler would serialize row cycles and cap bus utilization far
+// below a real FR-FCFS controller's.
+func (c *Channel) advance(colAt int64) {
+	// A few row cycles of lookahead: a 256-entry FR-FCFS queue keeps many
+	// banks in flight, so the clock trails the bus by several row cycles.
+	const window = 256 * dramspec.Nanosecond
+	if target := colAt - window; target > c.now {
+		c.now = target
+	}
+}
+
+// serveWrite services one write, broadcasting to the original block and
+// its copies in a single bus transaction (§III-A / FMR §4.3).
+func (c *Channel) serveWrite() {
+	// Writes are posted, so the scheduler reorders freely: prefer a row
+	// hit; otherwise pick the write whose bank can accept a column
+	// soonest, which interleaves activates across banks instead of
+	// serializing row cycles on one bank (tFAW relief).
+	idx := -1
+	for i, w := range c.writeQ {
+		r := c.ranks[w.rank]
+		if !r.InSelfRefresh() && r.Bank(w.bank).OpenRow() == w.row {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		const scanCap = 64 // bound the projection scan
+		var best int64
+		for i, w := range c.writeQ {
+			if i >= scanCap {
+				break
+			}
+			proj := c.ranks[w.rank].ProjectRead(w.bank, w.row, c.now)
+			if idx < 0 || proj < best {
+				best, idx = proj, i
+			}
+		}
+	}
+	req := c.writeQ[idx]
+	targets := c.writeTargetRanks(req.rank)
+	// Bring the target row up in every participating rank; the broadcast
+	// column command issues when all of them are ready.
+	colAt := c.now
+	for _, t := range targets {
+		ready, outcome := c.openRowFor(c.ranks[t], req.bank, req.row)
+		if t == req.rank {
+			c.countOutcome(outcome)
+		}
+		if ready > colAt {
+			colAt = ready
+		}
+	}
+	if c.busFreeAt > colAt {
+		colAt = c.busFreeAt
+	}
+	var end int64
+	for _, t := range targets {
+		e := c.ranks[t].Write(req.bank, colAt)
+		if e > end {
+			end = e
+		}
+		c.lastUse[c.globalBank(t, req.bank)] = colAt
+	}
+	c.busFreeAt = end
+	c.stats.BusBusyPS += c.ranks[targets[0]].BurstPS()
+	c.stats.Writes++
+	if len(targets) > 1 {
+		c.stats.BroadcastWrites++
+	}
+	req.Done = end + ControllerOverhead
+	c.advance(colAt)
+	c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
+	c.batchLeft--
+}
+
+// enterWriteMode starts a write-drain spurt: a cheap bus turnaround for
+// every design (a Hetero-DMR channel is already at specification in its
+// slow phase — see transitionToSlow). The spurt is topped up from the
+// writeback cache and, for Hetero-DMR, proactive LLC cleaning (§III-E).
+func (c *Channel) enterWriteMode() {
+	if c.writeMode {
+		panic("memctrl: already in write mode")
+	}
+	if c.cfg.Replication.Fast() && c.fastMode {
+		panic("memctrl: write mode while unsafely fast (transitionToSlow first)")
+	}
+	c.stats.ModeSwitches++
+	c.busFreeAt = maxI64(c.busFreeAt, c.now) + c.cfg.Spec.Timing.TRTW
+	c.writeMode = true
+	c.writeModeStart = maxI64(c.now, 0)
+	if !c.cfg.Replication.Fast() {
+		// Conventional designs account the batch per spurt; Hetero-DMR's
+		// batch spans the whole slow phase (set by transitionToSlow).
+		c.batchLeft = c.cfg.WriteBatch
+	}
+	// Top up: drain the writeback cache, then clean LLC blocks up to the
+	// remaining batch budget.
+	if c.wb != nil {
+		for _, block := range c.wb.drain() {
+			addr := block * uint64(c.cfg.BlockBytes)
+			req := &Request{Addr: addr, IsWrite: true, Arrive: c.now}
+			req.rank, req.bank, req.row = c.decode(addr)
+			c.writeQ = append(c.writeQ, req)
+		}
+	}
+	budget := c.batchLeft - len(c.writeQ)
+	if c.cfg.CleanSource != nil && budget > 0 {
+		cleaned := c.cfg.CleanSource.CleanDirty(budget)
+		for _, addr := range cleaned {
+			req := &Request{Addr: addr, IsWrite: true, Arrive: c.now}
+			req.rank, req.bank, req.row = c.decode(addr)
+			c.writeQ = append(c.writeQ, req)
+		}
+		c.stats.CleanedBlocks += uint64(len(cleaned))
+	}
+}
+
+// enterReadMode ends a write-drain spurt (cheap turnaround; the expensive
+// Hetero-DMR transition back to the fast operating point happens in
+// transitionToFast once the whole batch has drained).
+func (c *Channel) enterReadMode() {
+	if !c.writeMode {
+		panic("memctrl: already in read mode")
+	}
+	c.stats.ModeSwitches++
+	c.writeMode = false
+	c.stats.WriteModePS += maxI64(c.now, c.busFreeAt) - c.writeModeStart
+	c.busFreeAt = maxI64(c.busFreeAt, c.now) + c.cfg.Spec.Timing.TRTW
+}
+
+// transitionToSlow begins Hetero-DMR's slow phase (Fig 9): wake the
+// originals from self-refresh, switch the copy module(s) down to
+// specification, and arm the §III-A1 write batch that amortizes the two
+// frequency switches.
+func (c *Channel) transitionToSlow() {
+	if !c.fastMode {
+		panic("memctrl: transitionToSlow while already slow")
+	}
+	// Anchor the transition on the bus going idle, not the (possibly
+	// lagging) scheduler clock.
+	start := maxI64(c.now, c.busFreeAt)
+	c.stats.FastPS += start - c.lastFastStart
+	c.stats.FreqSwitches++
+	ready := start
+	for _, ri := range c.origRanks() {
+		if end := c.ranks[ri].ExitSelfRefresh(start); end > ready {
+			ready = end
+		}
+	}
+	copies := c.copyRankModels()
+	if end := dram.FrequencySwitch(copies, start, c.cfg.Spec.Timing, c.cfg.Spec.Rate.ClockPS(), c.cfg.FreqSwitchPS); end > ready {
+		ready = end
+	}
+	c.now = ready
+	c.busFreeAt = ready
+	c.fastMode = false
+	c.batchLeft = c.cfg.WriteBatch
+}
+
+// transitionToFast ends the slow phase (Fig 10): park the originals in
+// self-refresh and switch the copy module(s) up to the unsafely fast
+// operating point.
+func (c *Channel) transitionToFast() {
+	if c.fastMode {
+		panic("memctrl: transitionToFast while already fast")
+	}
+	if c.writeMode {
+		panic("memctrl: transitionToFast during a write spurt")
+	}
+	c.stats.FreqSwitches++
+	start := maxI64(c.now, c.busFreeAt)
+	ready := start
+	for _, ri := range c.origRanks() {
+		r := c.ranks[ri]
+		quiesced := r.PrechargeAll(start)
+		r.EnterSelfRefresh(quiesced)
+		if quiesced > ready {
+			ready = quiesced
+		}
+	}
+	copies := c.copyRankModels()
+	if end := dram.FrequencySwitch(copies, start, c.cfg.Fast.Timing, c.cfg.Fast.Rate.ClockPS(), c.cfg.FreqSwitchPS); end > ready {
+		ready = end
+	}
+	c.now = ready
+	c.busFreeAt = ready
+	c.fastMode = true
+	c.lastFastStart = ready
+}
+
+// origRanks returns the indices of ranks holding original blocks.
+func (c *Channel) origRanks() []int {
+	if !c.cfg.Replication.Replicated() {
+		out := make([]int, c.cfg.Ranks)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	half := c.cfg.Ranks / 2
+	out := make([]int, half)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// copyRankModels returns the rank models of the free (copy) module(s).
+func (c *Channel) copyRankModels() []*dram.Rank {
+	if !c.cfg.Replication.Replicated() {
+		return nil
+	}
+	half := c.cfg.Ranks / 2
+	out := make([]*dram.Rank, 0, half)
+	for i := half; i < c.cfg.Ranks; i++ {
+		out = append(out, c.ranks[i])
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Rank exposes rank i's model for tests and energy accounting.
+func (c *Channel) Rank(i int) *dram.Rank {
+	if i < 0 || i >= len(c.ranks) {
+		panic(fmt.Sprintf("memctrl: rank %d out of range", i))
+	}
+	return c.ranks[i]
+}
+
+// InWriteMode reports whether the channel is currently draining writes.
+func (c *Channel) InWriteMode() bool { return c.writeMode }
+
+// QueueDepths returns the current read/write queue occupancy.
+func (c *Channel) QueueDepths() (reads, writes, parked int) {
+	p := 0
+	if c.wb != nil {
+		p = c.wb.len()
+	}
+	return len(c.readQ), len(c.writeQ), p
+}

@@ -1,0 +1,63 @@
+package memctrl
+
+// wbCache is the per-channel victim writeback cache of §III-E: 128 KB,
+// 64-way (2048 blocks in 32 sets). Evicted dirty LLC blocks park here
+// instead of the small write buffer so the write buffer does not fill
+// before the LLC has accumulated a full Hetero-DMR write batch. The
+// command scheduler never inspects it; its content drains through the
+// write buffer during write mode.
+type wbCache struct {
+	sets  [][]uint64 // per-set block addresses, insertion-ordered
+	ways  int
+	count int
+}
+
+func newWBCache(blocks, ways int) *wbCache {
+	return &wbCache{sets: make([][]uint64, blocks/ways), ways: ways}
+}
+
+func (w *wbCache) setIndex(blockAddr uint64) int {
+	return int(blockAddr % uint64(len(w.sets)))
+}
+
+// insert records a dirty block. It reports whether the block was absorbed
+// (already present, or the set had space); the caller falls back to the
+// write buffer otherwise.
+func (w *wbCache) insert(blockAddr uint64) bool {
+	set := w.sets[w.setIndex(blockAddr)]
+	for _, a := range set {
+		if a == blockAddr {
+			return true // coalesced with an earlier writeback
+		}
+	}
+	if len(set) >= w.ways {
+		return false
+	}
+	w.sets[w.setIndex(blockAddr)] = append(set, blockAddr)
+	w.count++
+	return true
+}
+
+// contains reports whether the block is parked in the cache.
+func (w *wbCache) contains(blockAddr uint64) bool {
+	for _, a := range w.sets[w.setIndex(blockAddr)] {
+		if a == blockAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// len returns the number of parked blocks.
+func (w *wbCache) len() int { return w.count }
+
+// drain removes and returns every parked block.
+func (w *wbCache) drain() []uint64 {
+	out := make([]uint64, 0, w.count)
+	for i, set := range w.sets {
+		out = append(out, set...)
+		w.sets[i] = nil
+	}
+	w.count = 0
+	return out
+}

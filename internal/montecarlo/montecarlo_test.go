@@ -1,0 +1,114 @@
+package montecarlo
+
+import "testing"
+
+func cfg() Config {
+	c := DefaultConfig(1)
+	c.Trials = 20_000
+	return c
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	c := DefaultConfig(1)
+	if c.ModulesPerChannel != 2 || c.ChannelsPerNode != 12 {
+		t.Errorf("config geometry %+v", c)
+	}
+	if c.MeanMTs < 600 || c.MeanMTs > 900 {
+		t.Errorf("fitted mean %v outside the characterization band", c.MeanMTs)
+	}
+	if c.StdevMTs <= 0 {
+		t.Error("zero fitted stdev")
+	}
+}
+
+func TestChannelLevelMatchesFig11(t *testing.T) {
+	c := cfg()
+	aware := ChannelLevel(c, MarginAware)
+	unaware := ChannelLevel(c, MarginUnaware)
+	// Paper: 96% (aware) and 80% (unaware) of channels have >= 0.8 GT/s.
+	a8, u8 := aware.FractionAtLeast(800), unaware.FractionAtLeast(800)
+	if a8 < 0.88 || a8 > 1.0 {
+		t.Errorf("aware channel >=800: %.3f, paper says ~0.96", a8)
+	}
+	if u8 < 0.65 || u8 > 0.92 {
+		t.Errorf("unaware channel >=800: %.3f, paper says ~0.80", u8)
+	}
+	if a8 <= u8 {
+		t.Error("margin-aware selection not better than unaware")
+	}
+}
+
+func TestNodeLevelMatchesFig11(t *testing.T) {
+	c := cfg()
+	aware := NodeLevel(c, MarginAware)
+	unaware := NodeLevel(c, MarginUnaware)
+	// Paper: aware 62% >= 0.8, 98% >= 0.6; unaware 7% >= 0.8, 96% >= 0.6.
+	if a8 := aware.FractionAtLeast(800); a8 < 0.40 || a8 > 0.90 {
+		t.Errorf("aware node >=800: %.3f, paper says ~0.62", a8)
+	}
+	if a6 := aware.FractionAtLeast(600); a6 < 0.90 {
+		t.Errorf("aware node >=600: %.3f, paper says ~0.98", a6)
+	}
+	if u8 := unaware.FractionAtLeast(800); u8 > 0.35 {
+		t.Errorf("unaware node >=800: %.3f, paper says ~0.07", u8)
+	}
+	if u6 := unaware.FractionAtLeast(600); u6 < 0.75 {
+		t.Errorf("unaware node >=600: %.3f, paper says ~0.96", u6)
+	}
+}
+
+func TestGroupsSumToOne(t *testing.T) {
+	g := NodeLevel(cfg(), MarginAware).Groups()
+	sum := g.At800 + g.At600 + g.Below
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("groups sum %v", sum)
+	}
+	if g.At800 <= 0 || g.At600 < 0 {
+		t.Errorf("degenerate groups %+v", g)
+	}
+}
+
+func TestMarginsQuantized(t *testing.T) {
+	r := ChannelLevel(cfg(), MarginAware)
+	for _, m := range r.Margins[:1000] {
+		if int(m)%200 != 0 {
+			t.Fatalf("margin %v not quantized to BIOS steps", m)
+		}
+	}
+}
+
+func TestNodeMarginNeverAboveChannelCap(t *testing.T) {
+	c := cfg()
+	r := NodeLevel(c, MarginAware)
+	for _, m := range r.Margins[:1000] {
+		if m > 800 {
+			t.Fatalf("node margin %v beyond the platform cap headroom", m)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := cfg()
+	a := ChannelLevel(c, MarginAware)
+	b := ChannelLevel(c, MarginAware)
+	for i := range a.Margins[:100] {
+		if a.Margins[i] != b.Margins[i] {
+			t.Fatal("same-seed Monte Carlo diverged")
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero trials accepted")
+		}
+	}()
+	ChannelLevel(Config{ModulesPerChannel: 2, ChannelsPerNode: 12}, MarginAware)
+}
+
+func TestSelectionString(t *testing.T) {
+	if MarginAware.String() != "margin-aware" || MarginUnaware.String() != "margin-unaware" {
+		t.Error("selection names wrong")
+	}
+}

@@ -1,0 +1,426 @@
+// Package node assembles cores, caches, and memory channels into the two
+// simulated machines of Tables III-IV and runs one benchmark on one memory
+// design, producing the per-run measurements the evaluation figures
+// consume (normalized performance, DRAM accesses per instruction,
+// bandwidth utilization, write share, and energy-model inputs).
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dramspec"
+	"repro/internal/memctrl"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Hierarchy is one of the paper's two memory hierarchies (Table III).
+type Hierarchy struct {
+	Name     string
+	Cores    int
+	Channels int
+	// L2PerCoreBytes + L3TotalBytes realize the paper's cache-per-core
+	// ratios (4.5MB/core for Hierarchy1, 2.375MB/core for Hierarchy2,
+	// with a 1MB 16-way L2 per core from Table IV).
+	L2PerCoreBytes int
+	L3TotalBytes   int
+}
+
+// Hierarchy1 is the 8-core, 1-channel machine (4.5MB L2+L3 per core).
+func Hierarchy1() Hierarchy {
+	return Hierarchy{
+		Name:           "Hierarchy1",
+		Cores:          8,
+		Channels:       1,
+		L2PerCoreBytes: 1 << 20,
+		L3TotalBytes:   28 << 20, // (4.5-1)MB * 8 cores
+	}
+}
+
+// Hierarchy2 is the 16-core, 4-channel machine (2.375MB L2+L3 per core).
+func Hierarchy2() Hierarchy {
+	return Hierarchy{
+		Name:           "Hierarchy2",
+		Cores:          16,
+		Channels:       4,
+		L2PerCoreBytes: 1 << 20,
+		L3TotalBytes:   22 << 20, // (2.375-1)MB * 16 cores
+	}
+}
+
+// Hierarchies returns both machines in presentation order.
+func Hierarchies() []Hierarchy { return []Hierarchy{Hierarchy1(), Hierarchy2()} }
+
+// Config selects the machine, the memory design, and the run length.
+type Config struct {
+	H           Hierarchy
+	Replication memctrl.Replication
+	Spec        dramspec.Config
+	Fast        *dramspec.Config // required for Hetero-DMR designs
+	// CopyErrorRate is the per-read detected-error probability of the
+	// unsafely fast copies (Fig 6).
+	CopyErrorRate float64
+	// InstructionsPerCore is the measured-region length.
+	InstructionsPerCore int64
+	// WarmupInstructions per core run before measurement begins (the
+	// paper warms caches/predictors before its 20ms measured window);
+	// statistics and execution time exclude the warmup.
+	WarmupInstructions int64
+	// ScaleShift shrinks L2/L3 capacities and workload footprints by
+	// 2^ScaleShift so steady-state cache behaviour (including dirty
+	// evictions reaching DRAM) is reached within tractable instruction
+	// counts. Relative behaviour across designs and hierarchies is
+	// preserved because every size scales together. Default 4 (divide by
+	// 16); see DESIGN.md's simulation-methodology note.
+	ScaleShift uint
+	Seed       uint64
+}
+
+// DefaultInstructions is the default measured-region length per core; it
+// corresponds to the paper's 20ms cycle-accurate window scaled to this
+// simulator's throughput.
+const DefaultInstructions = 100_000
+
+// DefaultWarmup is the default per-core warmup length (the paper's cache
+// and predictor warmup before the measured window).
+const DefaultWarmup = 40_000
+
+// DefaultScaleShift divides cache capacities and workload footprints by
+// 2^4 = 16 (see Config.ScaleShift).
+const DefaultScaleShift = 4
+
+// Result is everything one run measures.
+type Result struct {
+	Benchmark    string
+	Design       memctrl.Replication
+	Hierarchy    string
+	ExecPS       int64
+	Instructions int64
+	IPC          float64
+
+	Mem       memctrl.Stats
+	CoreStats []cpu.Stats
+
+	// DRAMAccessesPerKI is reads+writes reaching DRAM per kilo-instruction
+	// (Fig 14 compares this across designs).
+	DRAMAccessesPerKI float64
+	// BandwidthUtil is data-bus occupancy over the run (Fig 15).
+	BandwidthUtil float64
+	// WriteShare is DRAM writes / all DRAM accesses (Fig 15's ~15%).
+	WriteShare float64
+	// ActivatesPerRank feeds the energy model.
+	Activates uint64
+}
+
+// router spreads addresses across channels at 1KB granularity, so
+// sequential runs keep their row-buffer locality within a channel (fine
+// 64B interleaving would shred every stream across all channels and
+// destroy the FR-FCFS hit rate the paper's controller achieves).
+type router struct {
+	chans []*memctrl.Channel
+}
+
+// channelInterleaveBytes is the per-channel interleave granularity.
+const channelInterleaveBytes = 1024
+
+func (r *router) pick(addr uint64) *memctrl.Channel {
+	return r.chans[(addr/channelInterleaveBytes)%uint64(len(r.chans))]
+}
+
+func (r *router) SubmitRead(addr uint64, at int64) *memctrl.Request {
+	return r.pick(addr).SubmitRead(addr, at)
+}
+
+func (r *router) SubmitWrite(addr uint64, at int64) {
+	r.pick(addr).SubmitWrite(addr, at)
+}
+
+func (r *router) WaitFor(req *memctrl.Request) int64 {
+	if req.Done != 0 {
+		return req.Done
+	}
+	// A request always resolves on its own channel.
+	return r.pick(req.Addr).WaitFor(req)
+}
+
+// channelCleaner filters the shared LLC's dirty blocks down to the ones
+// homed on a particular channel, so each channel's write batch only cleans
+// its own blocks.
+type channelCleaner struct {
+	l3    *cache.Cache
+	r     *router
+	owner *memctrl.Channel
+}
+
+func (cc *channelCleaner) CleanDirty(max int) []uint64 {
+	// Clean at most a thirty-second of the currently dirty LLC per write mode:
+	// cleaning is meant to top up the batch with blocks that would be
+	// written back anyway, not to scrub the whole cache (which would
+	// re-dirty and inflate write traffic well past Fig 14's <1% budget).
+	if cap := cc.l3.DirtyCount() / 32; max > cap {
+		max = cap
+	}
+	return cc.l3.CleanDirtyMatching(max, func(addr uint64) bool {
+		return cc.r.pick(addr) == cc.owner
+	})
+}
+
+// Run executes one benchmark on one machine+design and returns the
+// measurements. It returns an error on invalid configuration.
+func Run(cfg Config, prof workload.Profile) (Result, error) {
+	if cfg.H.Cores <= 0 || cfg.H.Channels <= 0 {
+		return Result{}, fmt.Errorf("node: invalid hierarchy %+v", cfg.H)
+	}
+	if cfg.InstructionsPerCore <= 0 {
+		cfg.InstructionsPerCore = DefaultInstructions
+	}
+	if cfg.WarmupInstructions <= 0 {
+		cfg.WarmupInstructions = DefaultWarmup
+	}
+	if cfg.ScaleShift == 0 {
+		cfg.ScaleShift = DefaultScaleShift
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	scale := uint64(1) << cfg.ScaleShift
+	prof.FootprintBytes /= scale
+	if prof.FootprintBytes < 1<<20 {
+		prof.FootprintBytes = 1 << 20
+	}
+	prof.WarmSetBytes /= scale
+
+	rt := &router{}
+	for i := 0; i < cfg.H.Channels; i++ {
+		ch := memctrl.DefaultConfig(cfg.Replication, cfg.Spec, cfg.Fast)
+		ch.CopyErrorRate = cfg.CopyErrorRate
+		ch.Seed = cfg.Seed + uint64(i)*7919
+		// The writeback cache and Hetero-DMR's write batch are sized
+		// relative to the LLC, so they scale with it (ScaleShift).
+		ch.WritebackCacheBlocks = 2048 >> cfg.ScaleShift
+		if ch.WritebackCacheBlocks < ch.WritebackCacheWays {
+			ch.WritebackCacheWays = ch.WritebackCacheBlocks
+		}
+		if cfg.Replication.Fast() {
+			ch.WriteBatch = dramspec.HeteroDMRWriteBatch >> cfg.ScaleShift
+			if ch.WriteBatch < dramspec.ConventionalWriteBatch {
+				ch.WriteBatch = dramspec.ConventionalWriteBatch
+			}
+			// Scale the per-transition latencies with the batch so the
+			// switch-overhead-to-work ratio matches the full-size system.
+			ch.FreqSwitchPS = dramspec.FrequencySwitchLatency >> cfg.ScaleShift
+			specT := cfg.Spec.Timing
+			ch.SRExitPS = (specT.TRFC + 10*dramspec.Nanosecond) >> cfg.ScaleShift
+		}
+		chn, err := memctrl.NewChannel(ch)
+		if err != nil {
+			return Result{}, err
+		}
+		rt.chans = append(rt.chans, chn)
+	}
+
+	l3 := cache.New(cache.Config{
+		SizeBytes:  cfg.H.L3TotalBytes / int(scale),
+		Ways:       16,
+		BlockBytes: 64,
+		LatencyPS:  22 * dramspec.Nanosecond, // Table IV: 22ns L3
+	})
+	// Wire proactive cleaning (the §III-E hook) per channel.
+	for _, chn := range rt.chans {
+		chn.AttachCleanSource(&channelCleaner{l3: l3, r: rt, owner: chn})
+	}
+
+	cores := make([]*cpu.Core, cfg.H.Cores)
+	streams := make([]*workload.Stream, cfg.H.Cores)
+	for i := range cores {
+		l1 := cache.New(cache.Config{
+			SizeBytes:  64 << 10, // 64KB split D/I modelled as one (Table IV)
+			Ways:       8,
+			BlockBytes: 64,
+			LatencyPS:  3 * cpu.ClockPS,
+		})
+		l2 := cache.New(cache.Config{
+			SizeBytes:  cfg.H.L2PerCoreBytes / int(scale),
+			Ways:       16,
+			BlockBytes: 64,
+			LatencyPS:  12 * cpu.ClockPS,
+		})
+		cores[i] = cpu.New(cpu.Config{ID: i, L1: l1, L2: l2, L3: l3, Mem: rt, MLP: prof.MLP})
+		// Each core runs one MPI rank of the benchmark: same profile,
+		// distinct address-space slice via the seed.
+		streams[i] = prof.NewStream(cfg.Seed+uint64(i)*104729,
+			cfg.WarmupInstructions+cfg.InstructionsPerCore)
+	}
+
+	// Prefill the shared LLC to steady-state occupancy so dirty evictions
+	// reach DRAM during the measured region (a cold LLC of this size would
+	// otherwise absorb every writeback).
+	prefillL3(l3, prof.FootprintBytes, cfg.Seed)
+
+	// Interleave cores in virtual-time order; snapshot statistics when the
+	// last core finishes its warmup.
+	done := make([]bool, len(cores))
+	remaining := len(cores)
+	warmLeft := len(cores)
+	warmed := make([]bool, len(cores))
+	var warmEndPS int64
+	var warmCore []cpu.Stats
+	var warmMem memctrl.Stats
+	var warmActs uint64
+	for remaining > 0 {
+		min := -1
+		for i, c := range cores {
+			if done[i] {
+				continue
+			}
+			if min < 0 || c.Now() < cores[min].Now() {
+				min = i
+			}
+		}
+		ev, ok := streams[min].Next()
+		if !ok {
+			cores[min].Finish()
+			done[min] = true
+			remaining--
+			continue
+		}
+		cores[min].Step(ev)
+		if warmLeft > 0 && !warmed[min] &&
+			cores[min].Stats().Instructions >= cfg.WarmupInstructions {
+			warmed[min] = true
+			warmLeft--
+			if warmLeft == 0 {
+				for _, c := range cores {
+					if c.Now() > warmEndPS {
+						warmEndPS = c.Now()
+					}
+					warmCore = append(warmCore, c.Stats())
+				}
+				warmMem, warmActs = gather(rt)
+			}
+		}
+	}
+
+	var res Result
+	res.Benchmark = prof.Name
+	res.Design = cfg.Replication
+	res.Hierarchy = cfg.H.Name
+	for i, c := range cores {
+		if c.Now() > res.ExecPS {
+			res.ExecPS = c.Now()
+		}
+		s := subCore(c.Stats(), warmCore[i])
+		res.CoreStats = append(res.CoreStats, s)
+		res.Instructions += s.Instructions
+	}
+	res.ExecPS -= warmEndPS
+	endMem, endActs := gather(rt)
+	res.Mem = subMem(endMem, warmMem)
+	res.Activates = endActs - warmActs
+	if res.ExecPS > 0 {
+		res.IPC = float64(res.Instructions) * cpu.ClockPS / float64(res.ExecPS)
+	}
+	if res.Instructions > 0 {
+		res.DRAMAccessesPerKI = float64(res.Mem.Reads+res.Mem.Writes) /
+			(float64(res.Instructions) / 1000)
+	}
+	if res.ExecPS > 0 {
+		res.BandwidthUtil = float64(res.Mem.BusBusyPS) /
+			(float64(res.ExecPS) * float64(cfg.H.Channels))
+	}
+	if total := res.Mem.Reads + res.Mem.Writes; total > 0 {
+		res.WriteShare = float64(res.Mem.Writes) / float64(total)
+	}
+	return res, nil
+}
+
+// prefillL3 seeds the LLC with footprint-resident blocks, a quarter of
+// them dirty, approximating steady-state occupancy.
+func prefillL3(l3 *cache.Cache, footprint uint64, seed uint64) {
+	rng := xrand.New(seed ^ 0xF111F111)
+	blocks := l3.Config().SizeBytes / l3.Config().BlockBytes
+	for i := 0; i < 2*blocks; i++ {
+		addr := rng.Uint64n(footprint) &^ 63
+		l3.Fill(addr, rng.Bool(0.25), false)
+	}
+}
+
+// gather sums channel statistics and activate counts.
+func gather(rt *router) (memctrl.Stats, uint64) {
+	var m memctrl.Stats
+	var acts uint64
+	for _, chn := range rt.chans {
+		s := chn.Stats()
+		m.Reads += s.Reads
+		m.Writes += s.Writes
+		m.BroadcastWrites += s.BroadcastWrites
+		m.RowHits += s.RowHits
+		m.RowMisses += s.RowMisses
+		m.RowConflicts += s.RowConflicts
+		m.WriteForwards += s.WriteForwards
+		m.ModeSwitches += s.ModeSwitches
+		m.FreqSwitches += s.FreqSwitches
+		m.DetectedErrors += s.DetectedErrors
+		m.Corrections += s.Corrections
+		m.CleanedBlocks += s.CleanedBlocks
+		m.BusBusyPS += s.BusBusyPS
+		m.FastPS += s.FastPS
+		m.ReadLatencySumPS += s.ReadLatencySumPS
+		m.ReadCount += s.ReadCount
+		for i := 0; i < chn.Config().Ranks; i++ {
+			rank := chn.Rank(i)
+			for b := 0; b < rank.Banks(); b++ {
+				acts += rank.Bank(b).Activates
+			}
+		}
+	}
+	return m, acts
+}
+
+func subMem(a, b memctrl.Stats) memctrl.Stats {
+	return memctrl.Stats{
+		Reads:            a.Reads - b.Reads,
+		Writes:           a.Writes - b.Writes,
+		BroadcastWrites:  a.BroadcastWrites - b.BroadcastWrites,
+		RowHits:          a.RowHits - b.RowHits,
+		RowMisses:        a.RowMisses - b.RowMisses,
+		RowConflicts:     a.RowConflicts - b.RowConflicts,
+		WriteForwards:    a.WriteForwards - b.WriteForwards,
+		ModeSwitches:     a.ModeSwitches - b.ModeSwitches,
+		FreqSwitches:     a.FreqSwitches - b.FreqSwitches,
+		DetectedErrors:   a.DetectedErrors - b.DetectedErrors,
+		Corrections:      a.Corrections - b.Corrections,
+		CleanedBlocks:    a.CleanedBlocks - b.CleanedBlocks,
+		BusBusyPS:        a.BusBusyPS - b.BusBusyPS,
+		FastPS:           a.FastPS - b.FastPS,
+		ReadLatencySumPS: a.ReadLatencySumPS - b.ReadLatencySumPS,
+		ReadCount:        a.ReadCount - b.ReadCount,
+	}
+}
+
+func subCore(a, b cpu.Stats) cpu.Stats {
+	return cpu.Stats{
+		Instructions: a.Instructions - b.Instructions,
+		ComputePS:    a.ComputePS - b.ComputePS,
+		MemStallPS:   a.MemStallPS - b.MemStallPS,
+		CommPS:       a.CommPS - b.CommPS,
+		L1Misses:     a.L1Misses - b.L1Misses,
+		L2Misses:     a.L2Misses - b.L2Misses,
+		L3Misses:     a.L3Misses - b.L3Misses,
+		DemandReads:  a.DemandReads - b.DemandReads,
+		DemandWrites: a.DemandWrites - b.DemandWrites,
+		Prefetches:   a.Prefetches - b.Prefetches,
+	}
+}
+
+// MustRun is Run that panics on error, for experiment drivers with static
+// configurations.
+func MustRun(cfg Config, prof workload.Profile) Result {
+	r, err := Run(cfg, prof)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

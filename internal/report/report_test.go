@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringRendering(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-longer", "2")
+	tb.Note("calibrated to %d", 42)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta-longer", "note: calibrated to 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: the header and separator lines share a width.
+	lines := strings.Split(out, "\n")
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("header %q and separator %q misaligned", lines[1], lines[2])
+	}
+}
+
+func TestAddRowPanicsOnWidthMismatch(t *testing.T) {
+	tb := New("X", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short row accepted")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("F", "s", "f", "i")
+	tb.AddRowf("x", 1.23456, 7)
+	if tb.Rows[0][1] != "1.235" || tb.Rows[0][2] != "7" {
+		t.Errorf("formatted row %v", tb.Rows[0])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("MD", "a", "b")
+	tb.AddRow("1", "2")
+	tb.Note("n")
+	md := tb.Markdown()
+	for _, want := range []string{"### MD", "| a | b |", "| 1 | 2 |", "*n*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestEmptyTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("leading newline with empty title")
+	}
+}

@@ -1,0 +1,325 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		k, p int
+		ok   bool
+	}{
+		{64, 8, true}, {1, 1, true}, {247, 8, true},
+		{0, 8, false}, {64, 0, false}, {250, 8, false}, {-1, 4, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.k, c.p)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d,%d) err=%v, want ok=%v", c.k, c.p, err, c.ok)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(0,0) did not panic")
+		}
+	}()
+	MustNew(0, 0)
+}
+
+func TestAccessors(t *testing.T) {
+	c := MustNew(64, 8)
+	if c.DataLen() != 64 || c.ParityLen() != 8 || c.CodewordLen() != 72 {
+		t.Errorf("lengths: %d %d %d", c.DataLen(), c.ParityLen(), c.CodewordLen())
+	}
+	if c.CorrectableErrors() != 4 || c.DetectableErrors() != 8 {
+		t.Errorf("capabilities: %d %d", c.CorrectableErrors(), c.DetectableErrors())
+	}
+}
+
+func TestEncodeCleanDetect(t *testing.T) {
+	c := MustNew(64, 8)
+	r := xrand.New(1)
+	for trial := 0; trial < 100; trial++ {
+		data := make([]byte, 64)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		cw := c.Encode(data)
+		if !bytes.Equal(cw[:64], data) {
+			t.Fatal("code is not systematic")
+		}
+		if err := c.Detect(cw); err != nil {
+			t.Fatalf("clean codeword flagged: %v", err)
+		}
+		if n, err := c.Correct(cw); n != 0 || err != nil {
+			t.Fatalf("clean codeword corrected: n=%d err=%v", n, err)
+		}
+	}
+}
+
+func TestDetectAllErrorsUpToParity(t *testing.T) {
+	c := MustNew(64, 8)
+	r := xrand.New(2)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	clean := c.Encode(data)
+	// Every error pattern of weight 1..8 must be detected (guaranteed by
+	// the code's minimum distance p+1 = 9).
+	for weight := 1; weight <= 8; weight++ {
+		for trial := 0; trial < 200; trial++ {
+			cw := append([]byte(nil), clean...)
+			pos := r.Perm(len(cw))[:weight]
+			for _, p := range pos {
+				var e byte
+				for e == 0 {
+					e = byte(r.Uint64())
+				}
+				cw[p] ^= e
+			}
+			if err := c.Detect(cw); err != ErrDetected {
+				t.Fatalf("weight-%d error escaped detection (trial %d)", weight, trial)
+			}
+		}
+	}
+}
+
+func TestDetectNeverModifies(t *testing.T) {
+	c := MustNew(64, 8)
+	r := xrand.New(3)
+	cw := make([]byte, 72)
+	for i := range cw {
+		cw[i] = byte(r.Uint64())
+	}
+	before := append([]byte(nil), cw...)
+	_ = c.Detect(cw)
+	if !bytes.Equal(before, cw) {
+		t.Fatal("Detect modified the codeword")
+	}
+}
+
+func TestCorrectUpToCapability(t *testing.T) {
+	c := MustNew(64, 8)
+	r := xrand.New(4)
+	for weight := 1; weight <= 4; weight++ {
+		for trial := 0; trial < 100; trial++ {
+			data := make([]byte, 64)
+			for i := range data {
+				data[i] = byte(r.Uint64())
+			}
+			clean := c.Encode(data)
+			cw := append([]byte(nil), clean...)
+			pos := r.Perm(len(cw))[:weight]
+			for _, p := range pos {
+				var e byte
+				for e == 0 {
+					e = byte(r.Uint64())
+				}
+				cw[p] ^= e
+			}
+			n, err := c.Correct(cw)
+			if err != nil {
+				t.Fatalf("weight-%d error not corrected: %v", weight, err)
+			}
+			if n != weight {
+				t.Fatalf("corrected %d errors, injected %d", n, weight)
+			}
+			if !bytes.Equal(cw, clean) {
+				t.Fatalf("weight-%d correction produced wrong codeword", weight)
+			}
+		}
+	}
+}
+
+func TestCorrectBeyondCapabilityFailsSafely(t *testing.T) {
+	c := MustNew(64, 8)
+	r := xrand.New(5)
+	uncorrectable, miscorrected := 0, 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		data := make([]byte, 64)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		clean := c.Encode(data)
+		cw := append([]byte(nil), clean...)
+		// Inject 6 errors: beyond the 4-error correction capability.
+		for _, p := range r.Perm(len(cw))[:6] {
+			var e byte
+			for e == 0 {
+				e = byte(r.Uint64())
+			}
+			cw[p] ^= e
+		}
+		before := append([]byte(nil), cw...)
+		_, err := c.Correct(cw)
+		switch {
+		case err == ErrUncorrectable:
+			uncorrectable++
+			if !bytes.Equal(before, cw) {
+				t.Fatal("ErrUncorrectable but codeword modified")
+			}
+		case err == nil:
+			// A 6-error pattern can land within distance 4 of another
+			// codeword; decoding to a valid (wrong) codeword is expected RS
+			// behaviour and is exactly the miscorrection risk §III-B avoids
+			// by using detection-only decoding for copies.
+			if bytes.Equal(cw, clean) {
+				t.Fatal("6 random errors decoded back to the original codeword")
+			}
+			miscorrected++
+		default:
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	if uncorrectable == 0 {
+		t.Error("no uncorrectable outcomes at weight 6")
+	}
+	// Miscorrection should be rare but may occur; just report.
+	t.Logf("weight-6: %d uncorrectable, %d miscorrected of %d", uncorrectable, miscorrected, trials)
+}
+
+func TestCorrectionRoundTripProperty(t *testing.T) {
+	c := MustNew(16, 6) // 3-error-correcting
+	f := func(seed uint64, weightRaw uint8) bool {
+		r := xrand.New(seed)
+		weight := int(weightRaw%3) + 1
+		data := make([]byte, 16)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		clean := c.Encode(data)
+		cw := append([]byte(nil), clean...)
+		for _, p := range r.Perm(len(cw))[:weight] {
+			var e byte
+			for e == 0 {
+				e = byte(r.Uint64())
+			}
+			cw[p] ^= e
+		}
+		n, err := c.Correct(cw)
+		return err == nil && n == weight && bytes.Equal(cw, clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityOnlyErrorsHandled(t *testing.T) {
+	c := MustNew(64, 8)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	clean := c.Encode(data)
+	cw := append([]byte(nil), clean...)
+	cw[70] ^= 0x55 // flip inside parity
+	if err := c.Detect(cw); err != ErrDetected {
+		t.Error("parity corruption escaped detection")
+	}
+	if n, err := c.Correct(cw); err != nil || n != 1 {
+		t.Errorf("parity corruption correction: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(cw, clean) {
+		t.Error("parity correction produced wrong word")
+	}
+}
+
+func TestSmallCode(t *testing.T) {
+	c := MustNew(1, 2)
+	cw := c.Encode([]byte{0xAB})
+	if err := c.Detect(cw); err != nil {
+		t.Fatal(err)
+	}
+	cw[0] ^= 0xFF
+	if n, err := c.Correct(cw); err != nil || n != 1 || cw[0] != 0xAB {
+		t.Errorf("single-symbol correction failed: n=%d err=%v cw=%x", n, err, cw)
+	}
+}
+
+func TestEncodePanicsOnBadLength(t *testing.T) {
+	c := MustNew(64, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode with short data did not panic")
+		}
+	}()
+	c.Encode(make([]byte, 10))
+}
+
+func TestZeroDataCodeword(t *testing.T) {
+	c := MustNew(64, 8)
+	cw := c.Encode(make([]byte, 64))
+	for _, b := range cw {
+		if b != 0 {
+			t.Fatal("all-zero data must encode to all-zero codeword (linear code)")
+		}
+	}
+}
+
+// Linear-code property: encode(a) XOR encode(b) == encode(a XOR b).
+func TestLinearity(t *testing.T) {
+	c := MustNew(32, 8)
+	f := func(a, b [32]byte) bool {
+		ca := c.Encode(a[:])
+		cb := c.Encode(b[:])
+		xored := make([]byte, 32)
+		for i := range xored {
+			xored[i] = a[i] ^ b[i]
+		}
+		cx := c.Encode(xored)
+		for i := range cx {
+			if cx[i] != ca[i]^cb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode64x8(b *testing.B) {
+	c := MustNew(64, 8)
+	data := make([]byte, 64)
+	cw := make([]byte, 72)
+	copy(cw, data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.EncodeInto(cw)
+	}
+}
+
+func BenchmarkDetectClean(b *testing.B) {
+	c := MustNew(64, 8)
+	cw := c.Encode(make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := c.Detect(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorrectTwoErrors(b *testing.B) {
+	c := MustNew(64, 8)
+	clean := c.Encode(make([]byte, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cw := append([]byte(nil), clean...)
+		cw[3] ^= 0x1F
+		cw[40] ^= 0xA0
+		if _, err := c.Correct(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
