@@ -97,3 +97,32 @@ func BenchmarkFig17SystemWide(b *testing.B) { runExperiment(b, "fig17") }
 
 // BenchmarkTable34Config regenerates the Tables III-IV configuration dump.
 func BenchmarkTable34Config(b *testing.B) { runExperiment(b, "config") }
+
+// benchmarkRunAll regenerates every artifact in one suite with the given
+// worker-pool size. Rendering is included so the timed work matches what
+// `heterodmr -all` does.
+func benchmarkRunAll(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := experiments.New(experiments.Options{Seed: uint64(i) + 1, Quick: true, Workers: workers})
+		tabs := s.RunAll()
+		if len(tabs) != len(experiments.Registry()) {
+			b.Fatalf("RunAll produced %d tables", len(tabs))
+		}
+		for _, t := range tabs {
+			if t.String() == "" {
+				b.Fatal("empty table")
+			}
+		}
+	}
+}
+
+// BenchmarkRunAllSeq times the full quick suite on the sequential
+// (workers=1) path — the pre-parallel-engine baseline.
+func BenchmarkRunAllSeq(b *testing.B) { benchmarkRunAll(b, 1) }
+
+// BenchmarkRunAllParallel times the full quick suite on the default
+// GOMAXPROCS-sized worker pool. Output is byte-identical to the
+// sequential run (see BENCH_parallel.json for recorded speedups).
+func BenchmarkRunAllParallel(b *testing.B) { benchmarkRunAll(b, 0) }

@@ -25,6 +25,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "seed for all synthetic inputs")
 		quick     = flag.Bool("quick", false, "reduced scale (one benchmark per suite, fewer trials)")
 		markdown  = flag.Bool("markdown", false, "render tables as markdown")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 		}
 		return
 	}
-	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 	render := func(t interface {
 		String() string
 		Markdown() string

@@ -15,9 +15,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "reduced trace scale")
 	exp := flag.String("exp", "", "one of fig1, fig17 (default: both)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	flag.Parse()
 
-	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 	ids := []string{"fig1", "fig17"}
 	if *exp != "" {
 		ids = []string{*exp}

@@ -13,9 +13,10 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "fewer Monte-Carlo trials")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	flag.Parse()
 
-	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 	fmt.Println(s.Fig11().String())
 	g := s.NodeMarginGroups()
 	fmt.Printf("scheduler node groups: 0.8GT/s %.1f%%  0.6GT/s %.1f%%  below %.1f%%\n",

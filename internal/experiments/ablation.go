@@ -42,10 +42,7 @@ func AblationByID(id string) (Entry, error) {
 // system level: the fraction of nodes reaching each margin group directly
 // sets how many jobs run at the 0.8 GT/s speedup.
 func (s *Suite) AblationSelection() *report.Table {
-	cfg := montecarlo.DefaultConfig(s.opt.Seed)
-	if s.opt.Quick {
-		cfg.Trials = 20_000
-	}
+	cfg := s.monteCarloConfig()
 	t := report.New("Ablation — what margin-aware selection buys",
 		"selection", "nodes >=0.8GT/s", "nodes >=0.6GT/s", "expected node speedup")
 	h := node.Hierarchy1()

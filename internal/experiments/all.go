@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/report"
 )
 
@@ -46,11 +47,15 @@ func ByID(id string) (Entry, error) {
 	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment and returns the tables in paper order.
+// RunAll executes every experiment and returns the tables in paper
+// order. Independent drivers run concurrently on the suite's worker
+// pool; node simulations shared across figures coalesce in the
+// singleflight run cache, and every driver derives its randomness
+// positionally from Options.Seed, so the rendered tables are
+// byte-identical for any worker count (including the sequential
+// Workers=1 path).
 func (s *Suite) RunAll() []*report.Table {
-	var out []*report.Table
-	for _, e := range Registry() {
-		out = append(out, e.Run(s))
-	}
-	return out
+	return parallel.Map(s.opt.Workers, Registry(), func(_ int, e Entry) *report.Table {
+		return e.Run(s)
+	})
 }

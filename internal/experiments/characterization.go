@@ -6,6 +6,7 @@ import (
 	"repro/internal/dramspec"
 	"repro/internal/margin"
 	"repro/internal/memuse"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -157,34 +158,51 @@ func (s *Suite) Fig6() *report.Table {
 	pop := s.Population()
 	t := report.New("Fig 6 — one-hour stress-test errors beyond margin",
 		"condition", "modules tested", "with errors", "total CE", "total UE", "no-boot")
-	row := func(name string, ambient int, setting dramspec.Setting, full bool) {
-		bench := margin.NewBench(ambient, s.opt.Seed+uint64(ambient))
-		var withErr, noBoot int
-		var ce, ue uint64
-		tested := 0
+	// Each row owns its own bench (and therefore its own RNG stream,
+	// seeded by ambient as before), so the five campaigns are independent
+	// and fan out on the worker pool; rows are appended in paper order
+	// afterwards.
+	rows := []struct {
+		name    string
+		ambient int
+		setting dramspec.Setting
+		full    bool
+	}{
+		{"freq margin, 23C", 23, dramspec.SettingFrequencyMargin, false},
+		{"freq margin, 45C", 45, dramspec.SettingFrequencyMargin, false},
+		{"freq+lat margin, 23C", 23, dramspec.SettingFreqLatMargin, false},
+		{"freq+lat margin, 45C", 45, dramspec.SettingFreqLatMargin, false},
+		{"freq+lat, full system, 23C", 23, dramspec.SettingFreqLatMargin, true},
+	}
+	type rowResult struct {
+		tested, withErr, noBoot int
+		ce, ue                  uint64
+	}
+	results := parallel.MapN(s.opt.Workers, len(rows), func(i int) rowResult {
+		spec := rows[i]
+		bench := margin.NewBench(spec.ambient, s.opt.Seed+uint64(spec.ambient))
+		var res rowResult
 		for _, m := range pop.MajorBrands() {
-			if ambient >= 45 && m.Condition == margin.ConditionInProduction {
+			if spec.ambient >= 45 && m.Condition == margin.ConditionInProduction {
 				continue // A8-A31 were not placed in the thermal chamber
 			}
-			tested++
-			r := bench.StressTest(&m, setting, full)
+			res.tested++
+			r := bench.StressTest(&m, spec.setting, spec.full)
 			if !r.Booted {
-				noBoot++
+				res.noBoot++
 				continue
 			}
 			if r.Total() > 0 {
-				withErr++
+				res.withErr++
 			}
-			ce += r.CorrectedErrors
-			ue += r.UncorrectedErrors
+			res.ce += r.CorrectedErrors
+			res.ue += r.UncorrectedErrors
 		}
-		t.AddRowf(name, tested, withErr, ce, ue, noBoot)
+		return res
+	})
+	for i, r := range results {
+		t.AddRowf(rows[i].name, r.tested, r.withErr, r.ce, r.ue, r.noBoot)
 	}
-	row("freq margin, 23C", 23, dramspec.SettingFrequencyMargin, false)
-	row("freq margin, 45C", 45, dramspec.SettingFrequencyMargin, false)
-	row("freq+lat margin, 23C", 23, dramspec.SettingFreqLatMargin, false)
-	row("freq+lat margin, 45C", 45, dramspec.SettingFreqLatMargin, false)
-	row("freq+lat, full system, 23C", 23, dramspec.SettingFreqLatMargin, true)
 	t.Note("paper: 45C errors ~4x of 23C (2x under freq+lat); full system halves per-module rate")
 	return t
 }

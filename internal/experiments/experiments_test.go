@@ -203,9 +203,9 @@ func TestFig17SystemShape(t *testing.T) {
 func TestRunCaching(t *testing.T) {
 	s := quick(t)
 	_ = s.Fig15()
-	n := len(s.runs)
+	n := s.CachedRuns()
 	_ = s.Fig15()
-	if len(s.runs) != n {
+	if s.CachedRuns() != n {
 		t.Error("repeated experiment re-ran simulations")
 	}
 }
@@ -215,5 +215,45 @@ func TestHierarchyWeightedSpeedups(t *testing.T) {
 	a8, a6 := s.HeteroDMRWeightedSpeedup(node.Hierarchy1())
 	if a8 <= 0 || a6 <= 0 {
 		t.Fatalf("speedups %v %v", a8, a6)
+	}
+}
+
+// TestRunAllDeterministicAcrossWorkers pins the engine's headline
+// guarantee: the rendered tables of a parallel RunAll are byte-identical
+// to the sequential (Workers=1) run, because every layer derives its
+// randomness positionally from Options.Seed rather than from scheduling
+// order.
+func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		s := New(Options{Seed: 7, Quick: true, Seeds: 1, Workers: workers})
+		var b strings.Builder
+		for _, tab := range s.RunAll() {
+			b.WriteString(tab.String())
+		}
+		return b.String()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		sl, pl := strings.Split(seq, "\n"), strings.Split(par, "\n")
+		for i := range sl {
+			if i >= len(pl) || sl[i] != pl[i] {
+				t.Fatalf("parallel output diverges at line %d:\n seq: %q\n par: %q", i, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("parallel output truncated: %d vs %d lines", len(sl), len(pl))
+	}
+}
+
+// TestPrewarmSharesRunsAcrossFigures checks the singleflight cache
+// coalesces the runs figures 12-16 share: re-running a figure whose
+// matrix is a subset of an already-warm one computes nothing new.
+func TestPrewarmSharesRunsAcrossFigures(t *testing.T) {
+	s := New(Options{Seed: 3, Quick: true, Workers: 4})
+	_ = s.Fig12()
+	n := s.CachedRuns()
+	_ = s.Fig13() // same design matrix as Fig 12
+	if s.CachedRuns() != n {
+		t.Errorf("Fig 13 re-ran %d simulations Fig 12 already cached", s.CachedRuns()-n)
 	}
 }

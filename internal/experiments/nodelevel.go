@@ -14,6 +14,12 @@ import (
 // Fig5 reproduces Fig 5: real-system speedup from exploiting memory
 // margins (whole system at each Table II setting, no replication).
 func (s *Suite) Fig5() *report.Table {
+	s.prewarm(s.matrix(node.Hierarchies(), []design{
+		{repl: memctrl.ReplicationNone, setting: dramspec.SettingSpec},
+		{repl: memctrl.ReplicationNone, setting: dramspec.SettingLatencyMargin, marginMTs: 800},
+		{repl: memctrl.ReplicationNone, setting: dramspec.SettingFrequencyMargin, marginMTs: 800},
+		{repl: memctrl.ReplicationNone, setting: dramspec.SettingFreqLatMargin, marginMTs: 800},
+	}, s.benchmarks()))
 	t := report.New("Fig 5 — speedup from exploiting margins (vs manufacturer spec)",
 		"benchmark", "hierarchy", "lat margin", "freq margin", "freq+lat")
 	for _, h := range node.Hierarchies() {
@@ -70,9 +76,20 @@ func (s *Suite) bucketSpeedup(h node.Hierarchy, d design, bucket int) float64 {
 	})
 }
 
+// fig12Matrix lists every design Fig 12's buckets touch (the five bars,
+// their bucket-1 fallbacks, and the baseline each speedup divides by).
+func (s *Suite) fig12Matrix() []design {
+	ds := []design{{repl: memctrl.ReplicationNone, setting: dramspec.SettingSpec}}
+	for _, dd := range fig12Designs() {
+		ds = append(ds, dd.d)
+	}
+	return ds
+}
+
 // Fig12 reproduces Fig 12: normalized performance per design, memory
 // usage bucket, and hierarchy, plus the Fig 1-weighted "[0~100%]" bar.
 func (s *Suite) Fig12() *report.Table {
+	s.prewarm(s.matrix(node.Hierarchies(), s.fig12Matrix(), s.benchmarks()))
 	w25, w50, wOver := s.Fig1Weights()
 	t := report.New("Fig 12 — performance normalized to Commercial Baseline",
 		"hierarchy", "design", "[0~25%)", "[25~50%)", "[50~100%]", "[0~100%] weighted")
@@ -104,6 +121,7 @@ func (s *Suite) HeteroDMRWeightedSpeedup(h node.Hierarchy) (at800, at600 float64
 // Fig13 reproduces Fig 13: system EPI normalized to the Commercial
 // Baseline.
 func (s *Suite) Fig13() *report.Table {
+	s.prewarm(s.matrix(node.Hierarchies(), s.fig12Matrix(), s.benchmarks()))
 	t := report.New("Fig 13 — energy per instruction normalized to Commercial Baseline",
 		"hierarchy", "design", "EPI ratio", "memory power share")
 	params := energy.DefaultParams()
@@ -139,6 +157,10 @@ func (s *Suite) Fig14() *report.Table {
 	t := report.New("Fig 14 — normalized DRAM accesses per instruction (Hierarchy1)",
 		"benchmark", "baseline apki", "Hetero-DMR+FMR apki", "ratio")
 	h := node.Hierarchy1()
+	s.prewarm(s.matrix([]node.Hierarchy{h}, []design{
+		{repl: memctrl.ReplicationNone},
+		{repl: memctrl.ReplicationHeteroDMRFMR, marginMTs: 800},
+	}, s.benchmarks()))
 	apki := func(r node.Result) float64 { return r.DRAMAccessesPerKI }
 	var ratios []float64
 	for _, prof := range s.benchmarks() {
@@ -162,6 +184,8 @@ func (s *Suite) Fig15() *report.Table {
 	t := report.New("Fig 15 — bandwidth utilization at spec (Hierarchy1)",
 		"benchmark", "bandwidth util", "write share")
 	h := node.Hierarchy1()
+	s.prewarm(s.matrix([]node.Hierarchy{h},
+		[]design{{repl: memctrl.ReplicationNone}}, s.benchmarks()))
 	var wr []float64
 	for _, prof := range s.benchmarks() {
 		bw := s.metric(h, design{repl: memctrl.ReplicationNone}, prof,
@@ -191,6 +215,9 @@ func (s *Suite) Fig16() *report.Table {
 	fastRate := dramspec.TableII(dramspec.SettingFreqLatMargin, specRate, 800).Rate
 	idealD := design{repl: memctrl.ReplicationNone, setting: dramspec.SettingFreqLatMargin, marginMTs: 800}
 	baseD := design{repl: memctrl.ReplicationNone}
+	s.prewarm(s.matrix([]node.Hierarchy{h}, []design{
+		baseD, idealD, {repl: memctrl.ReplicationHeteroDMR, marginMTs: 800},
+	}, s.benchmarks()))
 	var diffs []float64
 	for _, prof := range s.benchmarks() {
 		sim := s.speedup(h, design{repl: memctrl.ReplicationHeteroDMR, marginMTs: 800}, prof)
@@ -239,6 +266,12 @@ func (s *Suite) TableIIIIV() *report.Table {
 // the <25% bucket (the paper's Fig 16 shows a per-benchmark slice; this
 // table gives the full matrix for both hierarchies).
 func (s *Suite) Fig12Detail() *report.Table {
+	s.prewarm(s.matrix(node.Hierarchies(), []design{
+		{repl: memctrl.ReplicationNone},
+		{repl: memctrl.ReplicationFMR},
+		{repl: memctrl.ReplicationHeteroDMR, marginMTs: 800},
+		{repl: memctrl.ReplicationHeteroDMRFMR, marginMTs: 800},
+	}, s.benchmarks()))
 	t := report.New("Fig 12 (detail) — per-benchmark normalized performance, <25% usage",
 		"benchmark", "hierarchy", "FMR", "Hetero-DMR@0.8", "Hetero-DMR+FMR@0.8")
 	for _, h := range node.Hierarchies() {

@@ -10,12 +10,15 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dramspec"
 	"repro/internal/margin"
 	"repro/internal/memctrl"
 	"repro/internal/memuse"
 	"repro/internal/node"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -30,20 +33,56 @@ type Options struct {
 	// run-to-run variance of short measured regions (default: 1 in Quick
 	// mode, 3 otherwise).
 	Seeds int
+	// Workers bounds the worker pool all fan-out layers share: RunAll's
+	// per-experiment concurrency, the node-simulation matrix prewarm, and
+	// the Monte-Carlo trial shards (0 = GOMAXPROCS, 1 = fully
+	// sequential). Every experiment's randomness derives positionally
+	// from Seed, so output is byte-identical for every worker count.
+	Workers int
 }
 
 // Suite carries shared state across experiment drivers: the generated
 // DIMM population, the Fig 1 job fractions, and a cache of node-level
-// simulation results so figures 12-16 share runs.
+// simulation results so figures 12-16 share runs. A Suite is safe for
+// concurrent use by the drivers RunAll fans out.
 type Suite struct {
 	opt Options
 
-	pop      *margin.Population
-	fracOnce bool
+	popOnce sync.Once
+	pop     *margin.Population
+
+	fracOnce sync.Once
 	frac     memuse.Fractions
 
-	runs map[runKey]node.Result
+	runs runCache
 }
+
+// runCache is a singleflight-style concurrent cache of node simulations:
+// the first goroutine to request a key computes it under a per-key
+// sync.Once while any concurrent requesters for the same key block on
+// that Once, so figures 12-16 share runs without ever duplicating work.
+type runCache struct {
+	m sync.Map // runKey -> *runEntry
+	n atomic.Int64
+}
+
+type runEntry struct {
+	once sync.Once
+	res  node.Result
+}
+
+func (c *runCache) get(key runKey, compute func() node.Result) node.Result {
+	v, _ := c.m.LoadOrStore(key, new(runEntry))
+	e := v.(*runEntry)
+	e.once.Do(func() {
+		e.res = compute()
+		c.n.Add(1)
+	})
+	return e.res
+}
+
+// size reports how many simulations have been computed (not just keyed).
+func (c *runCache) size() int { return int(c.n.Load()) }
 
 // New returns a Suite. Seed 0 becomes 1.
 func New(opt Options) *Suite {
@@ -57,24 +96,25 @@ func New(opt Options) *Suite {
 			opt.Seeds = 3
 		}
 	}
-	return &Suite{opt: opt, runs: make(map[runKey]node.Result)}
+	return &Suite{opt: opt}
 }
+
+// CachedRuns reports how many distinct node simulations the suite has
+// executed so far.
+func (s *Suite) CachedRuns() int { return s.runs.size() }
 
 // Population lazily generates the 119-module study population.
 func (s *Suite) Population() *margin.Population {
-	if s.pop == nil {
-		s.pop = margin.GeneratePopulation(s.opt.Seed)
-	}
+	s.popOnce.Do(func() { s.pop = margin.GeneratePopulation(s.opt.Seed) })
 	return s.pop
 }
 
 // Fractions lazily computes the Fig 1 job memory-utilization fractions.
 func (s *Suite) Fractions() memuse.Fractions {
-	if !s.fracOnce {
+	s.fracOnce.Do(func() {
 		jobs := s.opt.jobCount()
 		s.frac = memuse.Analyze(memuse.Generate(memuse.GeneratorConfig{Jobs: jobs, Seed: s.opt.Seed}))
-		s.fracOnce = true
-	}
+	})
 	return s.frac
 }
 
@@ -123,31 +163,65 @@ func (s *Suite) run(h node.Hierarchy, d design, prof workload.Profile) node.Resu
 
 func (s *Suite) runSeed(h node.Hierarchy, d design, prof workload.Profile, seed uint64) node.Result {
 	key := runKey{hier: h.Name, d: d, bench: prof.Name, seed: seed}
-	if r, ok := s.runs[key]; ok {
-		return r
+	return s.runs.get(key, func() node.Result {
+		spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, d.marginMTs)
+		cfg := node.Config{
+			H:           h,
+			Replication: d.repl,
+			Spec:        spec,
+			Seed:        seed,
+		}
+		if d.repl == memctrl.ReplicationNone && d.setting != dramspec.SettingSpec {
+			// Whole-system margin exploitation (Fig 5's real-system settings).
+			cfg.Spec = dramspec.TableII(d.setting, dramspec.DDR4_3200, d.marginMTs)
+		}
+		if d.repl.Fast() {
+			fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, d.marginMTs)
+			cfg.Fast = &fast
+		}
+		if s.opt.Quick {
+			cfg.InstructionsPerCore = 40_000
+			cfg.WarmupInstructions = 15_000
+		}
+		return node.MustRun(cfg, prof)
+	})
+}
+
+// runReq names one node simulation of the (hierarchy, design, benchmark,
+// seed) matrix.
+type runReq struct {
+	h    node.Hierarchy
+	d    design
+	prof workload.Profile
+	seed uint64
+}
+
+// matrix expands hierarchies × designs × benchmarks × configured seeds
+// into the run requests a driver is about to consume.
+func (s *Suite) matrix(hs []node.Hierarchy, ds []design, profs []workload.Profile) []runReq {
+	reqs := make([]runReq, 0, len(hs)*len(ds)*len(profs)*s.opt.Seeds)
+	for _, h := range hs {
+		for _, d := range ds {
+			for _, p := range profs {
+				for i := 0; i < s.opt.Seeds; i++ {
+					reqs = append(reqs, runReq{h: h, d: d, prof: p, seed: s.opt.Seed + uint64(i)*131})
+				}
+			}
+		}
 	}
-	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, d.marginMTs)
-	cfg := node.Config{
-		H:           h,
-		Replication: d.repl,
-		Spec:        spec,
-		Seed:        seed,
-	}
-	if d.repl == memctrl.ReplicationNone && d.setting != dramspec.SettingSpec {
-		// Whole-system margin exploitation (Fig 5's real-system settings).
-		cfg.Spec = dramspec.TableII(d.setting, dramspec.DDR4_3200, d.marginMTs)
-	}
-	if d.repl.Fast() {
-		fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, d.marginMTs)
-		cfg.Fast = &fast
-	}
-	if s.opt.Quick {
-		cfg.InstructionsPerCore = 40_000
-		cfg.WarmupInstructions = 15_000
-	}
-	res := node.MustRun(cfg, prof)
-	s.runs[key] = res
-	return res
+	return reqs
+}
+
+// prewarm fans the given node simulations out on the worker pool. The
+// table-building loops that follow then hit the run cache, so drivers
+// keep their sequential, paper-ordered rendering while the expensive
+// simulation matrix saturates the machine. Requests that race with other
+// drivers' identical runs coalesce in the singleflight cache.
+func (s *Suite) prewarm(reqs []runReq) {
+	parallel.ForEach(s.opt.Workers, len(reqs), func(i int) {
+		r := reqs[i]
+		s.runSeed(r.h, r.d, r.prof, r.seed)
+	})
 }
 
 // suiteAverage averages a per-benchmark metric with the paper's

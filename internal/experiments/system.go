@@ -2,19 +2,29 @@ package experiments
 
 import (
 	"repro/internal/hpc"
+	"repro/internal/memctrl"
 	"repro/internal/montecarlo"
 	"repro/internal/node"
+	"repro/internal/parallel"
 	"repro/internal/report"
 )
+
+// monteCarloConfig builds the suite's Monte-Carlo configuration: paper
+// scale (or Quick's reduced trials) on the shared worker pool.
+func (s *Suite) monteCarloConfig() montecarlo.Config {
+	cfg := montecarlo.DefaultConfig(s.opt.Seed)
+	cfg.Workers = s.opt.Workers
+	if s.opt.Quick {
+		cfg.Trials = 20_000
+	}
+	return cfg
+}
 
 // Fig11 reproduces Fig 11: Monte-Carlo distributions of channel-level and
 // node-level memory frequency margins under margin-aware and
 // margin-unaware selection.
 func (s *Suite) Fig11() *report.Table {
-	cfg := montecarlo.DefaultConfig(s.opt.Seed)
-	if s.opt.Quick {
-		cfg.Trials = 20_000
-	}
+	cfg := s.monteCarloConfig()
 	t := report.New("Fig 11 — channel/node margin distributions",
 		"level", "selection", ">=0.8GT/s", ">=0.6GT/s", "paper >=0.8", "paper >=0.6")
 	ca := montecarlo.ChannelLevel(cfg, montecarlo.MarginAware)
@@ -31,11 +41,7 @@ func (s *Suite) Fig11() *report.Table {
 // NodeMarginGroups returns the margin-aware node groups Fig 17's cluster
 // uses (§III-D3's 62% / 36% / 2% example).
 func (s *Suite) NodeMarginGroups() montecarlo.NodeGroups {
-	cfg := montecarlo.DefaultConfig(s.opt.Seed)
-	if s.opt.Quick {
-		cfg.Trials = 20_000
-	}
-	return montecarlo.NodeLevel(cfg, montecarlo.MarginAware).Groups()
+	return montecarlo.NodeLevel(s.monteCarloConfig(), montecarlo.MarginAware).Groups()
 }
 
 // fig17Scale returns the trace scale (full Grizzly, or reduced in Quick
@@ -52,14 +58,32 @@ func (s *Suite) fig17Scale() (jobs, nodes int, periodS float64) {
 // system, per hierarchy, plus the margin-aware vs default scheduler
 // comparison and the +17%-nodes control experiment.
 func (s *Suite) Fig17() *report.Table {
+	// Warm the node-simulation matrix the speedup model consumes, so the
+	// expensive layer below runs on the full pool.
+	s.prewarm(s.matrix(node.Hierarchies(), []design{
+		{repl: memctrl.ReplicationNone},
+		{repl: memctrl.ReplicationHeteroDMR, marginMTs: 800},
+		{repl: memctrl.ReplicationHeteroDMR, marginMTs: 600},
+	}, s.benchmarks()))
+
 	jobs, nodes, period := s.fig17Scale()
 	tr := hpc.GenerateTrace(jobs, nodes, period, hpc.TargetNodeUtil, s.Fractions(), s.opt.Seed)
 	groups := s.NodeMarginGroups()
 
-	conv := hpc.Simulate(tr, hpc.UniformCluster(nodes, 0), hpc.PolicyDefault, hpc.ConventionalModel, s.opt.Seed)
-
-	t := report.New("Fig 17 — system-wide speedups over a conventional HPC system",
-		"hierarchy", "system", "exec-time speedup", "queue-delay reduction", "turnaround speedup")
+	// Describe all cluster simulations up front, then fan them out: the
+	// trace and clusters are read-only inside hpc.Simulate, and each
+	// simulation reseeds from Options.Seed, so the fan-out is
+	// order-independent. Slots: conv, +17% control, then per-hierarchy
+	// (aware, default) pairs.
+	type simDef struct {
+		cluster *hpc.Cluster
+		policy  hpc.Policy
+		model   hpc.SpeedupModel
+	}
+	defs := []simDef{
+		{hpc.UniformCluster(nodes, 0), hpc.PolicyDefault, hpc.ConventionalModel},
+		{hpc.UniformCluster(nodes+nodes*17/100, 0), hpc.PolicyDefault, hpc.ConventionalModel},
+	}
 	for _, h := range node.Hierarchies() {
 		at800, at600 := s.HeteroDMRWeightedSpeedup(h)
 		if at800 < 1 {
@@ -73,31 +97,33 @@ func (s *Suite) Fig17() *report.Table {
 		}
 		model := hpc.HeteroDMRModel(at800, at600)
 		cluster := hpc.GroupedCluster(nodes, groups.At800, groups.At600)
+		defs = append(defs,
+			simDef{cluster, hpc.PolicyMarginAware, model},
+			simDef{cluster, hpc.PolicyDefault, model})
+	}
+	sims := parallel.MapN(s.opt.Workers, len(defs), func(i int) *hpc.Result {
+		d := defs[i]
+		return hpc.Simulate(tr, d.cluster, d.policy, d.model, s.opt.Seed)
+	})
+	conv, more := sims[0], sims[1]
 
-		aware := hpc.Simulate(tr, cluster, hpc.PolicyMarginAware, model, s.opt.Seed)
-		deflt := hpc.Simulate(tr, cluster, hpc.PolicyDefault, model, s.opt.Seed)
-
-		addRow := func(name string, r *hpc.Result) {
-			queueRed := 0.0
-			if conv.MeanWaitS > 0 {
-				queueRed = 1 - r.MeanWaitS/conv.MeanWaitS
-			}
-			t.AddRowf(h.Name, name,
-				conv.MeanExecS/r.MeanExecS,
-				fmtPct(queueRed),
-				conv.MeanTurnaround/r.MeanTurnaround)
+	t := report.New("Fig 17 — system-wide speedups over a conventional HPC system",
+		"hierarchy", "system", "exec-time speedup", "queue-delay reduction", "turnaround speedup")
+	addRow := func(hier, name string, r *hpc.Result) {
+		queueRed := 0.0
+		if conv.MeanWaitS > 0 {
+			queueRed = 1 - r.MeanWaitS/conv.MeanWaitS
 		}
-		addRow("Hetero-DMR (margin-aware sched)", aware)
-		addRow("Hetero-DMR (default sched)", deflt)
+		t.AddRowf(hier, name,
+			conv.MeanExecS/r.MeanExecS,
+			fmtPct(queueRed),
+			conv.MeanTurnaround/r.MeanTurnaround)
 	}
-	// Control: 17% more conventional nodes.
-	more := hpc.Simulate(tr, hpc.UniformCluster(nodes+nodes*17/100, 0), hpc.PolicyDefault, hpc.ConventionalModel, s.opt.Seed)
-	qr := 0.0
-	if conv.MeanWaitS > 0 {
-		qr = 1 - more.MeanWaitS/conv.MeanWaitS
+	for i, h := range node.Hierarchies() {
+		addRow(h.Name, "Hetero-DMR (margin-aware sched)", sims[2+2*i])
+		addRow(h.Name, "Hetero-DMR (default sched)", sims[3+2*i])
 	}
-	t.AddRowf("-", "conventional +17% nodes (control)",
-		conv.MeanExecS/more.MeanExecS, fmtPct(qr), conv.MeanTurnaround/more.MeanTurnaround)
+	addRow("-", "conventional +17% nodes (control)", more)
 	t.Note("paper: 1.17x execution, ~34%% queue-delay reduction, 1.4x turnaround; +17%% nodes cuts queuing ~33%%")
 	return t
 }

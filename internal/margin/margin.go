@@ -112,7 +112,7 @@ const (
 // organization, and speed grade to match Figs 2-4.
 func GeneratePopulation(seed uint64) *Population {
 	rng := xrand.New(seed)
-	p := &Population{}
+	p := &Population{Modules: make([]Module, 0, NumModules)}
 	type group struct {
 		brand Brand
 		count int

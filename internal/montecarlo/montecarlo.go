@@ -9,6 +9,7 @@ package montecarlo
 import (
 	"repro/internal/dramspec"
 	"repro/internal/margin"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -24,6 +25,11 @@ type Config struct {
 	// SpecRate + cap bound observable margins like the testbed.
 	SpecRate dramspec.DataRate
 	Seed     uint64
+	// Workers bounds the worker pool the trial loop fans out on
+	// (0 = GOMAXPROCS, 1 = sequential). Results are identical for every
+	// value: trials are sharded into fixed-size chunks whose RNGs derive
+	// from (Seed, shard index), never from scheduling order.
+	Workers int
 }
 
 // DefaultConfig derives the distribution from a generated population,
@@ -41,10 +47,10 @@ func DefaultConfig(seed uint64) Config {
 	// De-trend the speed-grade effect (slower grades carry larger
 	// margins) so every 9-chip/rank module contributes to the fit at the
 	// 3200 MT/s reference grade.
-	var xs []float64
+	xs := make([]float64, len(nine))
 	for i := range nine {
-		xs = append(xs, nine[i].TrueMarginMTs-
-			0.30*float64(dramspec.DDR4_3200-nine[i].SpecRate))
+		xs[i] = nine[i].TrueMarginMTs -
+			0.30*float64(dramspec.DDR4_3200-nine[i].SpecRate)
 	}
 	return Config{
 		ModulesPerChannel: 2,
@@ -119,35 +125,53 @@ func channelMargin(rng *xrand.Rand, cfg Config, sel Selection) float64 {
 	return best
 }
 
-// ChannelLevel runs the Fig 11 channel-level experiment.
+// shardTrials is the fixed trial count per RNG shard. Shard s always
+// covers trials [s*shardTrials, (s+1)*shardTrials) and owns the child
+// generator xrand.NewAt(seed+stream, s), so the empirical distribution is
+// a pure function of (Config, Selection) — independent of the worker
+// count and of goroutine scheduling.
+const shardTrials = 1024
+
+// ChannelLevel runs the Fig 11 channel-level experiment. Trials are
+// sharded onto the worker pool: each shard seeds its own child RNG
+// positionally and writes into a disjoint range of the pre-sized Margins
+// slice, so no synchronization beyond the pool's join is needed and the
+// output is bit-identical to a sequential run.
 func ChannelLevel(cfg Config, sel Selection) Result {
 	validate(cfg)
-	rng := xrand.New(cfg.Seed + uint64(sel))
-	out := Result{Margins: make([]float64, cfg.Trials)}
-	for t := 0; t < cfg.Trials; t++ {
-		out.Margins[t] = channelMargin(rng, cfg, sel)
-	}
-	return out
+	margins := make([]float64, cfg.Trials)
+	parallel.ForEach(cfg.Workers, parallel.Chunks(cfg.Trials, shardTrials), func(s int) {
+		rng := xrand.NewAt(cfg.Seed+uint64(sel), uint64(s))
+		lo, hi := parallel.ChunkRange(s, cfg.Trials, shardTrials)
+		for t := lo; t < hi; t++ {
+			margins[t] = channelMargin(rng, cfg, sel)
+		}
+	})
+	return Result{Margins: margins}
 }
 
 // NodeLevel runs the Fig 11 node-level experiment: a node's margin is the
 // minimum of its channels' margins because interleaving makes the slowest
-// channel the bandwidth bottleneck (§III-D2).
+// channel the bandwidth bottleneck (§III-D2). Sharding follows
+// ChannelLevel's scheme on an offset seed stream.
 func NodeLevel(cfg Config, sel Selection) Result {
 	validate(cfg)
-	rng := xrand.New(cfg.Seed + 1000 + uint64(sel))
-	out := Result{Margins: make([]float64, cfg.Trials)}
-	for t := 0; t < cfg.Trials; t++ {
-		min := -1.0
-		for c := 0; c < cfg.ChannelsPerNode; c++ {
-			m := channelMargin(rng, cfg, sel)
-			if min < 0 || m < min {
-				min = m
+	margins := make([]float64, cfg.Trials)
+	parallel.ForEach(cfg.Workers, parallel.Chunks(cfg.Trials, shardTrials), func(s int) {
+		rng := xrand.NewAt(cfg.Seed+1000+uint64(sel), uint64(s))
+		lo, hi := parallel.ChunkRange(s, cfg.Trials, shardTrials)
+		for t := lo; t < hi; t++ {
+			min := -1.0
+			for c := 0; c < cfg.ChannelsPerNode; c++ {
+				m := channelMargin(rng, cfg, sel)
+				if min < 0 || m < min {
+					min = m
+				}
 			}
+			margins[t] = min
 		}
-		out.Margins[t] = min
-	}
-	return out
+	})
+	return Result{Margins: margins}
 }
 
 // NodeGroups summarizes a node-level result into the §III-D3 scheduler

@@ -112,3 +112,30 @@ func TestSelectionString(t *testing.T) {
 		t.Error("selection names wrong")
 	}
 }
+
+// TestWorkerCountInvariance pins the sharding contract: the empirical
+// distribution is bit-identical no matter how many workers run it.
+func TestWorkerCountInvariance(t *testing.T) {
+	base := cfg()
+	base.Trials = 10_000 // several shards, plus a partial final shard
+	seq := base
+	seq.Workers = 1
+	for _, workers := range []int{2, 4, 16} {
+		par := base
+		par.Workers = workers
+		for _, sel := range []Selection{MarginAware, MarginUnaware} {
+			a, b := ChannelLevel(seq, sel), ChannelLevel(par, sel)
+			for i := range a.Margins {
+				if a.Margins[i] != b.Margins[i] {
+					t.Fatalf("%v workers=%d: channel trial %d diverged", sel, workers, i)
+				}
+			}
+			na, nb := NodeLevel(seq, sel), NodeLevel(par, sel)
+			for i := range na.Margins {
+				if na.Margins[i] != nb.Margins[i] {
+					t.Fatalf("%v workers=%d: node trial %d diverged", sel, workers, i)
+				}
+			}
+		}
+	}
+}

@@ -49,6 +49,25 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xD1B54A32D192ED03)
 }
 
+// SplitMix derives the seed of work item i from a parent seed: the
+// (i+1)-th output of the splitmix64 stream seeded with seed. Unlike
+// Split, the derivation is positional — it depends only on (seed, i), not
+// on how many seeds were drawn before — so parallel workers can seed
+// item i's generator without coordinating, and the resulting streams are
+// identical no matter how items are scheduled across workers.
+func SplitMix(seed, i uint64) uint64 {
+	x := seed + i*0x9E3779B97F4A7C15
+	return splitmix64(&x)
+}
+
+// NewAt returns the generator for work item i of a computation seeded
+// with seed: New(SplitMix(seed, i)). Every (seed, i) pair yields the same
+// stream on every machine, which is the contract the parallel experiment
+// engine relies on for bit-identical sequential and parallel runs.
+func NewAt(seed, i uint64) *Rand {
+	return New(SplitMix(seed, i))
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly random bits.
