@@ -1,0 +1,37 @@
+# Entry points mirroring .github/workflows/ci.yml.
+
+GO ?= go
+FUZZTIME ?= 15s
+
+.PHONY: all build test race lint fmt vet analyze fuzz ci
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint is the full static-analysis gate CI runs: formatting, vet, and the
+# determinism lint suite (see "Static analysis" in README.md).
+lint: fmt vet analyze
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+analyze:
+	$(GO) run ./cmd/analyze ./...
+
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzGF256MulInverse -fuzztime $(FUZZTIME) ./internal/gf256
+	$(GO) test -run NONE -fuzz FuzzRSRoundTrip -fuzztime $(FUZZTIME) ./internal/rs
+	$(GO) test -run NONE -fuzz FuzzAddrMapBijective -fuzztime $(FUZZTIME) ./internal/memctrl
+
+ci: build test race lint fuzz

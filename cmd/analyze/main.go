@@ -1,0 +1,91 @@
+// Command analyze is the determinism lint multichecker: it runs the
+// internal/lint suite (detrand, maporder, sharedwrite, seedflow) over the
+// given package patterns and fails if any finding survives suppression.
+//
+// Usage:
+//
+//	go run ./cmd/analyze ./...            # whole module (CI entry point)
+//	go run ./cmd/analyze -json ./...      # machine-readable findings
+//	go run ./cmd/analyze -list            # describe the suite
+//	go run ./cmd/analyze -maporder.pkgs=report,experiments ./internal/...
+//
+// Exit status: 0 if no findings, 1 if any analyzer reported a finding,
+// 2 on usage or load errors. Findings are suppressed by a
+// `//lint:allow <analyzer> <justification>` comment on the flagged line
+// or the line above it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	for _, a := range lint.All() {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, summary)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l, err := loader.New("")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+	findings, err := loader.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []loader.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "analyze: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(2)
+}

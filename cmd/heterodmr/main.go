@@ -29,6 +29,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "heterodmr: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
+		os.Exit(2)
+	}
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/experiments"
 )
@@ -18,6 +19,10 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	flag.Parse()
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "hpcsim: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
+		os.Exit(2)
+	}
 	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 	ids := []string{"fig1", "fig17"}
 	if *exp != "" {

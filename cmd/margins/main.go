@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/experiments"
 )
@@ -16,6 +17,10 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
 	flag.Parse()
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "margins: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
+		os.Exit(2)
+	}
 	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
 	fmt.Println(s.Fig11().String())
 	g := s.NodeMarginGroups()

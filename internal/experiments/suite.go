@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -232,9 +233,18 @@ func (s *Suite) suiteAverage(metric func(prof workload.Profile) float64) float64
 	for _, p := range s.benchmarks() {
 		bySuite[p.Suite] = append(bySuite[p.Suite], metric(p))
 	}
+	// Accumulate in sorted-suite order: float addition is not associative,
+	// so iterating the map directly would make the last bits of the average
+	// depend on Go's randomized iteration order.
+	suites := make([]string, 0, len(bySuite))
+	for k := range bySuite {
+		suites = append(suites, k)
+	}
+	sort.Strings(suites)
 	var total float64
 	var n int
-	for _, vals := range bySuite {
+	for _, k := range suites {
+		vals := bySuite[k]
 		var sum float64
 		for _, v := range vals {
 			sum += v

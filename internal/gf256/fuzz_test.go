@@ -1,0 +1,57 @@
+package gf256_test
+
+import (
+	"testing"
+
+	"repro/internal/gf256"
+)
+
+// FuzzGF256MulInverse fuzzes the field axioms the Reed-Solomon decoders
+// lean on: multiplicative inverses, commutativity, associativity,
+// distributivity over XOR-addition, and the Exp/Log round trip. Any
+// violation would silently corrupt every ECC result downstream.
+func FuzzGF256MulInverse(f *testing.F) {
+	f.Add(byte(1), byte(1), byte(1))
+	f.Add(byte(2), byte(3), byte(7))
+	f.Add(byte(0), byte(5), byte(9))
+	f.Add(byte(255), byte(254), byte(253))
+	f.Add(byte(0x1d), byte(0x80), byte(0x01))
+	f.Fuzz(func(t *testing.T, a, b, c byte) {
+		// Commutativity and associativity.
+		if gf256.Mul(a, b) != gf256.Mul(b, a) {
+			t.Fatalf("Mul(%d,%d) not commutative", a, b)
+		}
+		if gf256.Mul(gf256.Mul(a, b), c) != gf256.Mul(a, gf256.Mul(b, c)) {
+			t.Fatalf("Mul not associative for (%d,%d,%d)", a, b, c)
+		}
+		// Distributivity over field addition (XOR).
+		if gf256.Mul(a, gf256.Add(b, c)) != gf256.Add(gf256.Mul(a, b), gf256.Mul(a, c)) {
+			t.Fatalf("Mul not distributive for (%d,%d,%d)", a, b, c)
+		}
+		// Absorbing and identity elements.
+		if gf256.Mul(a, 0) != 0 || gf256.Mul(a, 1) != a {
+			t.Fatalf("identity/zero broken for %d", a)
+		}
+		if a != 0 {
+			inv := gf256.Inv(a)
+			if inv == 0 || gf256.Mul(a, inv) != 1 {
+				t.Fatalf("Inv(%d) = %d is not a multiplicative inverse", a, inv)
+			}
+			if gf256.Inv(inv) != a {
+				t.Fatalf("Inv(Inv(%d)) != %d", a, a)
+			}
+			if gf256.Exp(gf256.Log(a)) != a {
+				t.Fatalf("Exp(Log(%d)) != %d", a, a)
+			}
+			if gf256.Pow(a, 255) != 1 {
+				t.Fatalf("Pow(%d, 255) != 1 (Fermat)", a)
+			}
+			if b != 0 {
+				// Division undoes multiplication.
+				if gf256.Div(gf256.Mul(a, b), b) != a {
+					t.Fatalf("Div(Mul(%d,%d),%d) != %d", a, b, b, a)
+				}
+			}
+		}
+	})
+}

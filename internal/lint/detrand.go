@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// DetRand forbids the two classic determinism leaks around random number
+// generation: importing math/rand (whose global source, and any locally
+// constructed source, lives outside the repository's seed discipline) and
+// seeding any generator from the wall clock. The only sanctioned RNG
+// implementation is repro/internal/xrand, which is itself exempt.
+var DetRand = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: `forbid math/rand and time-seeded RNG construction outside internal/xrand
+
+Every experiment must draw all randomness from an explicit *xrand.Rand so
+results are bit-for-bit reproducible across runs, machines, and worker
+counts. math/rand (v1 and v2) and time.Now-derived seeds break that
+contract silently.`,
+	Run: runDetRand,
+}
+
+// rngCalleeNames are constructor/seeding names that make a time.Now
+// argument a determinism leak.
+var rngCalleeNames = map[string]bool{
+	"New": true, "NewAt": true, "NewSource": true, "NewSeeded": true,
+	"Seed": true, "SplitMix": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetRand(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "xrand" {
+		return nil, nil // the sanctioned RNG implementation
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: use repro/internal/xrand so all randomness derives from an explicit seed", path)
+			}
+		}
+		// Flag the nearest enclosing RNG-ish call around every time.Now()
+		// argument: rand.NewSource(time.Now().UnixNano()) and friends.
+		reported := map[*ast.CallExpr]bool{}
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if path, name, ok := selectorPkg(pass.TypesInfo, sel); ok && path == "time" && name == "Now" {
+						for i := len(stack) - 1; i >= 0; i-- {
+							enclosing, ok := stack[i].(*ast.CallExpr)
+							if !ok || !rngCalleeNames[calleeBaseName(enclosing.Fun)] || reported[enclosing] {
+								continue
+							}
+							reported[enclosing] = true
+							pass.Reportf(enclosing.Pos(),
+								"time-seeded RNG construction: seeds must be explicit so runs are reproducible")
+							break
+						}
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,170 @@
+package loader
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+func TestFindModule(t *testing.T) {
+	l, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.modPath != "repro" {
+		t.Fatalf("module path = %q, want repro", l.modPath)
+	}
+	if filepath.Base(filepath.Dir(filepath.Dir(filepath.Dir(l.modRoot)))) == "" {
+		t.Fatalf("module root %q not resolved", l.modRoot)
+	}
+}
+
+// TestLoadExplicitDir loads one module package and checks its import
+// path, type information, and that in-package test files are included.
+func TestLoadExplicitDir(t *testing.T) {
+	l, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("../../xrand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "repro/internal/xrand" {
+		t.Errorf("path = %q, want repro/internal/xrand", p.Path)
+	}
+	if p.Types.Name() != "xrand" {
+		t.Errorf("package name = %q", p.Types.Name())
+	}
+	hasTest := false
+	for _, f := range p.Files {
+		name := p.Fset.File(f.Pos()).Name()
+		if filepath.Base(name) == "xrand_test.go" {
+			hasTest = true
+		}
+	}
+	if !hasTest {
+		t.Error("in-package test files were not loaded into the unit")
+	}
+	if p.Types.Scope().Lookup("NewAt") == nil {
+		t.Error("type info missing NewAt")
+	}
+}
+
+// TestWalkSkipsTestdata ensures /... expansion never descends into
+// testdata (fixtures must only be loaded when named explicitly).
+func TestWalkSkipsTestdata(t *testing.T) {
+	l, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("../...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, p := range pkgs {
+		if filepath.Base(filepath.Dir(p.Dir)) == "src" {
+			t.Errorf("testdata fixture %s loaded by walk", p.Dir)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//lint:allow detrand", []string{"detrand"}},
+		{"// lint:allow maporder integer sums are commutative", []string{"maporder"}},
+		{"//lint:allow detrand,seedflow reason", []string{"detrand", "seedflow"}},
+		{"//lint:allow", nil},
+		{"// regular comment", nil},
+		{"//lint:allowx detrand", nil},
+	}
+	for _, c := range cases {
+		names, ok := parseAllow(&ast.Comment{Text: c.text})
+		if (len(c.want) > 0) != ok {
+			t.Errorf("parseAllow(%q) ok = %v", c.text, ok)
+			continue
+		}
+		if len(names) != len(c.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, names, c.want)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.want[i] {
+				t.Errorf("parseAllow(%q) = %v, want %v", c.text, names, c.want)
+			}
+		}
+	}
+}
+
+// TestSuppression runs a trivial analyzer over a fixture with allow
+// comments on the same line and the line above, and checks both forms
+// suppress while an unrelated name does not.
+func TestSuppression(t *testing.T) {
+	l, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("../testdata/src/maporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &analysis.Analyzer{
+		Name: "maporder", // reuse the fixture's allow name
+		Doc:  "probe",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			ast.Inspect(pass.Files[0], func(n ast.Node) bool {
+				if rs, ok := n.(*ast.RangeStmt); ok {
+					pass.Reportf(rs.Pos(), "probe finding")
+				}
+				return true
+			})
+			return nil, nil
+		},
+	}
+	findings, err := RunAnalyzers(pkgs, []*analysis.Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture has ranges on several lines; exactly the one under the
+	// //lint:allow maporder comment must be suppressed.
+	for _, f := range findings {
+		var file *token.File
+		_ = file
+		if f.Line == allowedRangeLine(t, pkgs[0]) {
+			t.Errorf("finding on allowed line %d not suppressed", f.Line)
+		}
+	}
+	if len(findings) == 0 {
+		t.Fatal("probe produced no findings at all")
+	}
+}
+
+// allowedRangeLine locates the line of the range statement directly
+// below the fixture's //lint:allow comment.
+func allowedRangeLine(t *testing.T, p *Package) int {
+	t.Helper()
+	for _, file := range p.Files {
+		for _, g := range file.Comments {
+			for _, c := range g.List {
+				if _, ok := parseAllow(c); ok {
+					return p.Fset.Position(c.Pos()).Line + 1
+				}
+			}
+		}
+	}
+	t.Fatal("fixture has no allow comment")
+	return 0
+}

@@ -1,0 +1,150 @@
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Finding is one resolved diagnostic: an analyzer name, a concrete file
+// position, and the message.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package, resolves
+// positions, drops diagnostics suppressed by //lint:allow comments, and
+// returns the remaining findings sorted by position. A //lint:allow
+// comment suppresses the named analyzers (comma-separated list, first
+// field; any trailing text is a free-form justification) on its own line
+// and on the line directly below it, so both trailing comments and
+// whole-line comments above the flagged statement work.
+func RunAnalyzers(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		allow := allowIndex(pkg)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if allow.suppressed(a.Name, pos) {
+					return
+				}
+				f := Finding{
+					Analyzer: a.Name, Pos: pos, Message: d.Message,
+					File: pos.Filename, Line: pos.Line, Column: pos.Column,
+				}
+				key := f.String()
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, f)
+				}
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// allowSet records, per file and line, which analyzers a //lint:allow
+// comment names ("*" allows all).
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func allowIndex(pkg *Package) allowSet {
+	s := allowSet{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				names, ok := parseAllow(c)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					s[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+func parseAllow(c *ast.Comment) ([]string, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return nil, false
+	}
+	text, ok = strings.CutPrefix(strings.TrimSpace(text), "lint:allow")
+	if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+		return nil, false
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// SeedFlow enforces positional seed derivation for per-item randomness.
+// Inside loop bodies and the function-literal arguments of the parallel
+// helpers, constructing a generator with xrand.New — unless its seed
+// comes through xrand.SplitMix — or deriving one with Rand.Split is
+// loop-carried: the i-th item's stream then depends on how many draws
+// happened before it, so any reordering (a worker-count change, a
+// skipped item, an added experiment) silently shifts every later stream.
+// xrand.NewAt(seed, i) and xrand.New(xrand.SplitMix(seed, i)) depend only
+// on (seed, i) and are the sanctioned forms.
+var SeedFlow = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: `require positional RNG derivation (xrand.NewAt/SplitMix) for per-item generators
+
+A generator built inside a loop from a loop-carried source (xrand.New of
+a stream draw, Rand.Split) ties item i's randomness to the items before
+it. Derive it from the item index instead: xrand.NewAt(seed, i).`,
+	Run: runSeedFlow,
+}
+
+func runSeedFlow(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		// Collect every region whose body executes once per work item.
+		var bodies []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.RangeStmt:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			}
+			return true
+		})
+		for _, lit := range concurrentBodies(pass, file) {
+			bodies = append(bodies, lit.Body)
+		}
+		reported := map[token.Pos]bool{}
+		for _, body := range bodies {
+			checkSeedFlow(pass, body, reported)
+		}
+	}
+	return nil, nil
+}
+
+func checkSeedFlow(pass *analysis.Pass, body ast.Node, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || reported[call.Pos()] {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// xrand.New(seed) inside a per-item region, unless the seed is
+		// positional (derived via xrand.SplitMix).
+		if path, name, ok := selectorPkg(pass.TypesInfo, sel); ok && pathIs(path, "xrand") && name == "New" {
+			if !seedIsPositional(pass, call) {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(),
+					"loop-carried RNG construction: derive the per-item generator positionally with xrand.NewAt(seed, i) or xrand.New(xrand.SplitMix(seed, i))")
+			}
+			return true
+		}
+		// rng.Split() where rng is an xrand.Rand: the child seed depends
+		// on how many draws preceded it.
+		if sel.Sel.Name == "Split" && len(call.Args) == 0 && isXrandRand(pass.TypesInfo, sel.X) {
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(),
+				"Split() inside a per-item region derives a loop-carried seed; use xrand.NewAt(seed, i) so item i's stream depends only on (seed, i)")
+		}
+		return true
+	})
+}
+
+// seedIsPositional reports whether a call's arguments contain a
+// xrand.SplitMix call, the positional derivation.
+func seedIsPositional(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if sel, ok := inner.Fun.(*ast.SelectorExpr); ok {
+				if path, name, ok := selectorPkg(pass.TypesInfo, sel); ok && pathIs(path, "xrand") && name == "SplitMix" {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// isXrandRand reports whether expr's type is xrand.Rand (or a pointer to
+// it).
+func isXrandRand(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Rand" && obj.Pkg() != nil && pathIs(obj.Pkg().Path(), "xrand")
+}

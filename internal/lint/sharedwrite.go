@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// SharedWrite flags writes to captured (shared) state inside code that
+// runs concurrently: `go func(){...}` bodies and the function-literal
+// arguments of parallel.ForEach/Map/MapN. The parallel engine's
+// determinism contract allows exactly one kind of shared write — the
+// disjoint-index idiom, where each work item writes its own slot of a
+// pre-sized slice at an index derived inside the closure:
+//
+//	out := make([]R, n)
+//	parallel.ForEach(w, n, func(i int) { out[i] = f(i) })
+//
+// Everything else — append to a captured slice, any write to a captured
+// map, plain or compound assignment to a captured scalar, writes through
+// captured struct fields, or slice writes at a captured index — is a
+// data race, a scheduling-order dependence, or both, and is reported.
+// Writes that are genuinely synchronized (mutex, sync.Once) carry a
+// //lint:allow sharedwrite justification.
+var SharedWrite = &analysis.Analyzer{
+	Name: "sharedwrite",
+	Doc: `flag unsynchronized writes to captured state in goroutines and parallel bodies
+
+Concurrent closures must write only their own slot of a pre-sized slice
+(out[i] with i derived inside the closure). Any other captured write
+makes the result depend on goroutine scheduling.`,
+	Run: runSharedWrite,
+}
+
+func runSharedWrite(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, lit := range concurrentBodies(pass, file) {
+			checkConcurrentBody(pass, lit)
+		}
+	}
+	return nil, nil
+}
+
+func checkConcurrentBody(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWriteTarget(pass, lit, lhs, n.Tok.String())
+			}
+		case *ast.IncDecStmt:
+			checkWriteTarget(pass, lit, n.X, n.Tok.String())
+		}
+		return true
+	})
+}
+
+// checkWriteTarget reports lhs if it writes captured state from inside
+// the concurrent body lit.
+func checkWriteTarget(pass *analysis.Pass, lit *ast.FuncLit, lhs ast.Expr, op string) {
+	lhs = unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return // := definition of a new local
+		}
+		if !definedWithin(obj, lit) {
+			pass.Reportf(id.Pos(),
+				"%q to captured variable %s inside a concurrent body: results depend on goroutine scheduling; make it a per-item slot or move the write after the join",
+				op, id.Name)
+		}
+		return
+	}
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		base := rootIdent(idx.X)
+		if base == nil {
+			return
+		}
+		obj := pass.TypesInfo.Uses[base]
+		if obj == nil || definedWithin(obj, lit) {
+			return // writing container that is itself local to the closure
+		}
+		tv, ok := pass.TypesInfo.Types[idx.X]
+		if !ok {
+			return
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			pass.Reportf(idx.Pos(),
+				"write to captured map %s inside a concurrent body: concurrent map writes race and iteration order leaks scheduling; collect per-item results and merge after the join", base.Name)
+		case *types.Slice, *types.Array, *types.Pointer:
+			if !indexDerivedInside(pass, lit, idx.Index) {
+				pass.Reportf(idx.Pos(),
+					"write to captured slice %s at an index not derived inside the closure: items may collide; use the disjoint-index idiom (out[i] with i from the item index)", base.Name)
+			}
+		}
+		return
+	}
+	// Writes through captured selectors/derefs (s.field = ..., *p = ...).
+	if base := rootIdent(lhs); base != nil {
+		obj := pass.TypesInfo.Uses[base]
+		if obj != nil && !definedWithin(obj, lit) {
+			pass.Reportf(lhs.Pos(),
+				"%q through captured %s inside a concurrent body: results depend on goroutine scheduling", op, base.Name)
+		}
+	}
+}
+
+// indexDerivedInside reports whether the index expression references at
+// least one identifier declared inside the closure (its parameter or a
+// local derived from it) — the disjoint-index idiom.
+func indexDerivedInside(pass *analysis.Pass, lit *ast.FuncLit, index ast.Expr) bool {
+	found := false
+	ast.Inspect(index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar && definedWithin(obj, lit) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,39 @@
+// Fixture for the detrand analyzer: math/rand imports and time-seeded
+// RNG construction are findings; explicit xrand seeding is not.
+package detrand
+
+import (
+	"math/rand" // want `import of math/rand: use repro/internal/xrand`
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// bad draws from the math/rand global source (covered by the import
+// finding above).
+func bad() int {
+	return rand.Intn(10)
+}
+
+// badTimeSeed seeds from the wall clock: flagged at the seeding call.
+func badTimeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time-seeded RNG construction`
+}
+
+// goodClock may read the clock for non-RNG purposes.
+func goodClock() time.Time {
+	return time.Now()
+}
+
+// good derives all randomness from an explicit xrand seed.
+func good(seed uint64) float64 {
+	return xrand.New(seed).Float64()
+}
+
+// allowed demonstrates the suppression syntax: the finding on the import
+// would normally fire, but writing one here would hide the real import
+// finding above, so the suppression fixture lives on the time-seed path.
+func allowed() *rand.Rand {
+	//lint:allow detrand fixture: demonstrates the suppression comment
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

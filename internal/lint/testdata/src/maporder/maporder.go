@@ -1,0 +1,55 @@
+// Fixture for the maporder analyzer: map ranges in an output-producing
+// package are findings unless they are the canonical key-collection
+// prelude (or carry a justification).
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// badRender iterates a map straight into rendered output.
+func badRender(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want `range over map`
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// badFloatSum accumulates floats in map order: addition is not
+// associative, so the sum depends on iteration order.
+func badFloatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map`
+		total += v
+	}
+	return total
+}
+
+// goodSorted is the sanctioned shape: collect keys, sort, iterate the
+// slice. The key-collection range is recognized and not flagged.
+func goodSorted(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// allowedCount shows a justified suppression: a commutative integer
+// accumulation whose order provably cannot reach the output.
+func allowedCount(m map[string]int) int {
+	total := 0
+	//lint:allow maporder integer addition is commutative; order cannot reach output
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

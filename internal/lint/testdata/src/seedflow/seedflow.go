@@ -1,0 +1,81 @@
+// Fixture for the seedflow analyzer: per-item generators must be derived
+// positionally from (seed, index), never from a loop-carried source.
+package seedflow
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/xrand"
+)
+
+// badLoopCarried seeds item i's generator from the parent stream, so its
+// randomness depends on how many draws happened before it.
+func badLoopCarried(seed uint64, n int) []float64 {
+	out := make([]float64, n)
+	rng := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		child := xrand.New(rng.Uint64()) // want `loop-carried RNG construction`
+		out[i] = child.Float64()
+	}
+	return out
+}
+
+// badSplit derives child generators by splitting a loop-carried parent.
+func badSplit(seed uint64, n int) []float64 {
+	out := make([]float64, n)
+	rng := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		child := rng.Split() // want `Split\(\) inside a per-item region`
+		out[i] = child.Float64()
+	}
+	return out
+}
+
+// badParallelNew constructs non-positional generators inside a parallel
+// body.
+func badParallelNew(seed uint64, n int) []float64 {
+	return parallel.MapN(0, n, func(i int) float64 {
+		rng := xrand.New(seed + uint64(i)) // want `loop-carried RNG construction`
+		return rng.Float64()
+	})
+}
+
+// goodNewAt is the sanctioned positional derivation.
+func goodNewAt(seed uint64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rng := xrand.NewAt(seed, uint64(i))
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// goodSplitMix routes the seed through SplitMix, which is equally
+// positional.
+func goodSplitMix(seed uint64, n int) []float64 {
+	return parallel.MapN(0, n, func(i int) float64 {
+		rng := xrand.New(xrand.SplitMix(seed, uint64(i)))
+		return rng.Float64()
+	})
+}
+
+// goodTopLevel constructs a sequential generator outside any loop.
+func goodTopLevel(seed uint64, n int) []float64 {
+	rng := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// allowedArithmetic shows a justified suppression for a positional
+// arithmetic seed the analyzer cannot prove positional.
+func allowedArithmetic(seed uint64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		//lint:allow seedflow seed+i*131 is positional arithmetic, not a stream draw
+		rng := xrand.New(seed + uint64(i)*131)
+		out[i] = rng.Float64()
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Fixture for the sharedwrite analyzer: concurrent bodies may write only
+// their own pre-sized slot (disjoint-index idiom); every other captured
+// write is a finding.
+package sharedwrite
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// badAppend grows a captured slice from goroutines: append races on the
+// backing array and the element order depends on scheduling.
+func badAppend(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, 1) // want `captured variable out`
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// badMap writes a captured map from a parallel body.
+func badMap(n int) map[int]int {
+	m := map[int]int{}
+	parallel.ForEach(0, n, func(i int) {
+		m[i] = i * i // want `captured map m`
+	})
+	return m
+}
+
+// badSharedIndex writes through an index that lives outside the closure,
+// so items collide.
+func badSharedIndex(n int) []int {
+	out := make([]int, n)
+	j := 0
+	parallel.ForEach(0, n, func(i int) {
+		out[j] = i // want `index not derived inside the closure`
+		j++        // want `captured variable j`
+	})
+	return out
+}
+
+// badScalar accumulates into a captured scalar.
+func badScalar(xs []float64) float64 {
+	var sum float64
+	parallel.ForEach(0, len(xs), func(i int) {
+		sum += xs[i] // want `captured variable sum`
+	})
+	return sum
+}
+
+// good is the disjoint-index idiom: every item writes its own slot at an
+// index derived inside the closure.
+func good(n int) []int {
+	out := make([]int, n)
+	parallel.ForEach(0, n, func(i int) {
+		out[i] = i * 2
+	})
+	return out
+}
+
+// goodChunk derives the written range from the chunk index, still
+// disjoint per item.
+func goodChunk(n int) []float64 {
+	out := make([]float64, n)
+	const size = 16
+	parallel.ForEach(0, parallel.Chunks(n, size), func(c int) {
+		lo, hi := parallel.ChunkRange(c, n, size)
+		for t := lo; t < hi; t++ {
+			out[t] = float64(t)
+		}
+	})
+	return out
+}
+
+// goodMapHelper writes through the parallel.Map result instead of shared
+// state.
+func goodMapHelper(xs []float64) []float64 {
+	return parallel.Map(0, xs, func(i int, x float64) float64 { return 2 * x })
+}
+
+// allowedOnce shows a justified suppression: the write is guarded by
+// sync.Once, the same shape internal/parallel uses for panic capture.
+func allowedOnce(n int) any {
+	var (
+		once sync.Once
+		v    any
+	)
+	parallel.ForEach(0, n, func(i int) {
+		if i == 0 {
+			//lint:allow sharedwrite guarded by once.Do; at most one write
+			once.Do(func() { v = i })
+		}
+	})
+	return v
+}

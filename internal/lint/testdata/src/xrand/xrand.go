@@ -1,0 +1,14 @@
+// Fixture for detrand's exemption: a package named xrand is the
+// sanctioned RNG implementation and may use math/rand and the clock
+// (e.g. to cross-validate its samplers); no findings are expected here.
+package xrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Reference builds a math/rand generator for cross-validation.
+func Reference() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}

@@ -1,0 +1,76 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/dramspec"
+)
+
+// FuzzAddrMapBijective fuzzes the XOR-hashed address mapping: for the
+// baseline (unreplicated) channel every physical address must round-trip
+// through decode — reconstructing the address from (rank, bank, row) plus
+// the column and block-offset bits must give back exactly the input, so
+// no two addresses can alias onto the same cell. For the replicated
+// modes, decode must keep the folded rank inside the original-data
+// region.
+func FuzzAddrMapBijective(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(64))
+	f.Add(uint64(1) << 33)
+	f.Add(uint64(0xDEADBEEF))
+	f.Add(^uint64(0))
+
+	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, 800)
+	base := MustNewChannel(DefaultConfig(ReplicationNone, spec, nil))
+	fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, 800)
+	replicated := []*Channel{
+		MustNewChannel(DefaultConfig(ReplicationFMR, spec, nil)),
+		MustNewChannel(DefaultConfig(ReplicationHeteroDMR, spec, &fast)),
+		MustNewChannel(DefaultConfig(ReplicationHeteroDMRFMR, spec, &fast)),
+	}
+
+	f.Fuzz(func(t *testing.T, addr uint64) {
+		// Bound the row index so the reconstruction below cannot overflow
+		// int64 rows (the mapping is defined on realistic capacities).
+		addr %= uint64(1) << 40
+
+		c := base
+		rank, bank, row := c.decode(addr)
+		cfg := c.cfg
+		if rank < 0 || rank >= cfg.Ranks || bank < 0 || bank >= cfg.BanksPerRank || row < 0 {
+			t.Fatalf("decode(%#x) out of bounds: rank=%d bank=%d row=%d", addr, rank, bank, row)
+		}
+		// Invert: un-hash the bank, then repack [row|rank|bank|col] and
+		// the block offset.
+		ba := addr / uint64(cfg.BlockBytes)
+		col := ba & (uint64(1)<<uint(c.colBits) - 1)
+		offset := addr % uint64(cfg.BlockBytes)
+		bankStored := uint64(bank ^ int(uint64(row)&uint64(cfg.BanksPerRank-1)))
+		back := uint64(row)
+		back = back<<uint(c.rankBits) | uint64(rank)
+		back = back<<uint(c.bankBits) | bankStored
+		back = back<<uint(c.colBits) | col
+		back = back*uint64(cfg.BlockBytes) + offset
+		if back != addr {
+			t.Fatalf("address map not bijective: %#x -> (r%d b%d row%d col%d) -> %#x",
+				addr, rank, bank, row, col, back)
+		}
+
+		// Replicated modes fold the rank into the original-data region;
+		// the fold must stay in range and preserve bank/row.
+		for _, rc := range replicated {
+			rr, rb, rrow := rc.decode(addr)
+			limit := rc.cfg.Ranks / 2
+			if rc.cfg.Replication == ReplicationHeteroDMRFMR {
+				limit = 1
+			}
+			if rr < 0 || rr >= limit {
+				t.Fatalf("%v: folded rank %d outside original region [0,%d)", rc.cfg.Replication, rr, limit)
+			}
+			if rb != bank || rrow != row {
+				t.Fatalf("%v: fold changed bank/row: (%d,%d) vs baseline (%d,%d)",
+					rc.cfg.Replication, rb, rrow, bank, row)
+			}
+		}
+	})
+}

@@ -58,6 +58,7 @@ func ForEach(workers, n int, fn func(i int)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					//lint:allow sharedwrite guarded by panicOnce.Do: at most one write, read only after wg.Wait
 					panicOnce.Do(func() { panicked = r })
 					// Stop handing out new items; in-flight ones finish.
 					next.Store(int64(n))

@@ -1,0 +1,90 @@
+package report_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden builds a fixed table exercising every rendering feature:
+// alignment, float formatting, notes, and markdown.
+func golden() *report.Table {
+	t := report.New("Golden — rendering fixture", "name", "value", "pct")
+	t.AddRowf("alpha", 1.0, "3.1%")
+	t.AddRowf("a-much-longer-name", 12345, "100.0%")
+	t.AddRowf("beta", float32(2.5), "0.0%")
+	t.Note("notes render under the table, %d of them", 1)
+	return t
+}
+
+// TestGoldenRendering asserts the renderers are byte-identical to the
+// committed golden file and across repeated renders: the report layer is
+// the last hop of every experiment's output, so any instability here
+// breaks the byte-identical-output contract for the whole suite.
+func TestGoldenRendering(t *testing.T) {
+	tab := golden()
+	got := tab.String() + "\n---\n" + tab.Markdown()
+	if again := tab.String() + "\n---\n" + tab.Markdown(); again != got {
+		t.Fatal("rendering differs between two calls on the same table")
+	}
+	path := filepath.Join("testdata", "table.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test ./internal/report -run Golden -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendering drifted from golden file:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRenderByteStableAcrossWorkers renders a slice of the real
+// experiment suite twice sequentially and once on a 4-worker pool, and
+// requires all three outputs to be byte-identical: the determinism
+// contract the lint suite (internal/lint) enforces at the source level,
+// checked here at the output level.
+func TestRenderByteStableAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick experiment slice")
+	}
+	render := func(workers int) string {
+		s := experiments.New(experiments.Options{Seed: 3, Quick: true, Workers: workers})
+		var b strings.Builder
+		for _, id := range []string{"tab1", "fig1", "fig2", "fig11"} {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := e.Run(s)
+			b.WriteString(tab.String())
+			b.WriteString(tab.Markdown())
+		}
+		return b.String()
+	}
+	seq1 := render(1)
+	seq2 := render(1)
+	par := render(4)
+	if seq1 != seq2 {
+		t.Error("two sequential runs rendered different bytes")
+	}
+	if seq1 != par {
+		t.Error("Workers=1 and Workers=4 rendered different bytes")
+	}
+	if !strings.Contains(seq1, "Fig 11") {
+		t.Error("render slice did not include Fig 11")
+	}
+}

@@ -1,0 +1,71 @@
+package rs_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/rs"
+	"repro/internal/xrand"
+)
+
+// FuzzRSRoundTrip fuzzes the paper's ECC geometry (56 data bytes + 8
+// Reed-Solomon bytes per 64-byte block, §III-B): every encode must
+// verify clean, every error pattern of weight 1..8 must be caught by
+// detection-only decoding, and every pattern of weight <= 4 must be
+// corrected back to the exact original codeword.
+func FuzzRSRoundTrip(f *testing.F) {
+	f.Add([]byte("hello, margin"), uint8(0), uint64(1))
+	f.Add([]byte{}, uint8(1), uint64(2))
+	f.Add(bytes.Repeat([]byte{0xFF}, 56), uint8(4), uint64(3))
+	f.Add([]byte{0, 0, 0, 1}, uint8(8), uint64(4))
+	f.Add(bytes.Repeat([]byte{0xA5}, 80), uint8(3), uint64(99))
+
+	code := rs.MustNew(56, 8)
+	f.Fuzz(func(t *testing.T, raw []byte, weight uint8, seed uint64) {
+		data := make([]byte, code.DataLen())
+		copy(data, raw)
+		cw := code.Encode(data)
+
+		if err := code.Detect(cw); err != nil {
+			t.Fatalf("clean codeword flagged: %v", err)
+		}
+		clean := append([]byte(nil), cw...)
+		if n, err := code.Correct(clean); err != nil || n != 0 {
+			t.Fatalf("clean codeword corrected %d bytes, err %v", n, err)
+		}
+
+		// Inject `weight` byte errors (bounded to the detection
+		// capability) at deterministic distinct positions.
+		nErr := int(weight) % (code.DetectableErrors() + 1)
+		if nErr == 0 {
+			return
+		}
+		rng := xrand.New(seed)
+		corrupt := append([]byte(nil), cw...)
+		for _, pos := range rng.Perm(len(cw))[:nErr] {
+			corrupt[pos] ^= byte(1 + rng.Intn(255)) // non-zero flip
+		}
+
+		// Detection-only decoding (the fast-copy path) must catch every
+		// pattern up to p = 8 bytes.
+		if err := code.Detect(corrupt); !errors.Is(err, rs.ErrDetected) {
+			t.Fatalf("%d-byte error escaped detection-only decoding", nErr)
+		}
+		if nErr <= code.CorrectableErrors() {
+			// The conventional path must repair up to floor(p/2) = 4 bytes
+			// exactly.
+			fixed := append([]byte(nil), corrupt...)
+			n, err := code.Correct(fixed)
+			if err != nil {
+				t.Fatalf("correcting %d errors failed: %v", nErr, err)
+			}
+			if n != nErr {
+				t.Fatalf("corrected %d bytes, want %d", n, nErr)
+			}
+			if !bytes.Equal(fixed, cw) {
+				t.Fatalf("correction did not restore the original codeword")
+			}
+		}
+	})
+}
