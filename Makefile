@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race lint fmt vet analyze fuzz ci
+.PHONY: all build test race lint fmt vet analyze fuzz check ci
 
 all: build test lint
 
@@ -34,4 +34,9 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzRSRoundTrip -fuzztime $(FUZZTIME) ./internal/rs
 	$(GO) test -run NONE -fuzz FuzzAddrMapBijective -fuzztime $(FUZZTIME) ./internal/memctrl
 
-ci: build test race lint fuzz
+# check runs the quick experiment suite with conservation self-checks:
+# any accounting violation in the simulators fails the build.
+check:
+	$(GO) run ./cmd/heterodmr -all -quick -check > /dev/null
+
+ci: build test race lint fuzz check

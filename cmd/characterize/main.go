@@ -7,16 +7,20 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/cliobs"
 	"repro/internal/experiments"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "population seed")
 	exp := flag.String("exp", "", "one of tab1, fig2, fig3, fig4, tab2, fig6 (default: all)")
+	ob := cliobs.Register()
 	flag.Parse()
 
-	s := experiments.New(experiments.Options{Seed: *seed})
+	reg := ob.Registry()
+	s := experiments.New(experiments.Options{Seed: *seed, Check: ob.Check, Obs: reg})
 	ids := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig6"}
 	if *exp != "" {
 		ids = []string{*exp}
@@ -27,5 +31,8 @@ func main() {
 			panic(err)
 		}
 		fmt.Println(e.Run(s).String())
+	}
+	if code := ob.Finish("characterize", reg, s.Violations()); code != 0 {
+		os.Exit(code)
 	}
 }

@@ -7,7 +7,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/cliobs"
 	"repro/internal/experiments"
 )
 
@@ -15,9 +17,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "one benchmark per suite, shorter runs")
 	exp := flag.String("exp", "", "one of fig5, fig16 (default: both)")
+	ob := cliobs.Register()
 	flag.Parse()
 
-	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick})
+	reg := ob.Registry()
+	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Check: ob.Check, Obs: reg})
 	ids := []string{"fig5", "fig16"}
 	if *exp != "" {
 		ids = []string{*exp}
@@ -28,5 +32,8 @@ func main() {
 			panic(err)
 		}
 		fmt.Println(e.Run(s).String())
+	}
+	if code := ob.Finish("emulate", reg, s.Violations()); code != 0 {
+		os.Exit(code)
 	}
 }

@@ -6,6 +6,7 @@
 //	heterodmr -list
 //	heterodmr -exp fig12 [-seed 1] [-quick]
 //	heterodmr -all [-markdown]
+//	heterodmr -all -check [-metrics out.json] [-trace out.jsonl]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliobs"
 	"repro/internal/experiments"
 )
 
@@ -26,6 +28,7 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced scale (one benchmark per suite, fewer trials)")
 		markdown  = flag.Bool("markdown", false, "render tables as markdown")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+		ob        = cliobs.Register()
 	)
 	flag.Parse()
 
@@ -42,7 +45,10 @@ func main() {
 		}
 		return
 	}
-	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
+	reg := ob.Registry()
+	s := experiments.New(experiments.Options{
+		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,
+	})
 	render := func(t interface {
 		String() string
 		Markdown() string
@@ -67,7 +73,7 @@ func main() {
 		if err != nil {
 			if e2, err2 := experiments.AblationByID(*exp); err2 == nil {
 				render(e2.Run(s))
-				return
+				os.Exit(ob.Finish("heterodmr", reg, s.Violations()))
 			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -76,5 +82,8 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if code := ob.Finish("heterodmr", reg, s.Violations()); code != 0 {
+		os.Exit(code)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliobs"
 	"repro/internal/experiments"
 )
 
@@ -17,13 +18,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trace scale")
 	exp := flag.String("exp", "", "one of fig1, fig17 (default: both)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+	ob := cliobs.Register()
 	flag.Parse()
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "hpcsim: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
 		os.Exit(2)
 	}
-	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
+	reg := ob.Registry()
+	s := experiments.New(experiments.Options{
+		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,
+	})
 	ids := []string{"fig1", "fig17"}
 	if *exp != "" {
 		ids = []string{*exp}
@@ -34,5 +39,8 @@ func main() {
 			panic(err)
 		}
 		fmt.Println(e.Run(s).String())
+	}
+	if code := ob.Finish("hpcsim", reg, s.Violations()); code != 0 {
+		os.Exit(code)
 	}
 }

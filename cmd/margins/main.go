@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliobs"
 	"repro/internal/experiments"
 )
 
@@ -15,15 +16,22 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "fewer Monte-Carlo trials")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+	ob := cliobs.Register()
 	flag.Parse()
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "margins: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
 		os.Exit(2)
 	}
-	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Workers: *workers})
+	reg := ob.Registry()
+	s := experiments.New(experiments.Options{
+		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,
+	})
 	fmt.Println(s.Fig11().String())
 	g := s.NodeMarginGroups()
 	fmt.Printf("scheduler node groups: 0.8GT/s %.1f%%  0.6GT/s %.1f%%  below %.1f%%\n",
 		100*g.At800, 100*g.At600, 100*g.Below)
+	if code := ob.Finish("margins", reg, s.Violations()); code != 0 {
+		os.Exit(code)
+	}
 }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // line is one cache line's metadata; data contents are not modelled.
@@ -43,6 +45,9 @@ type Cache struct {
 	PrefetchFills  uint64
 	PrefetchUseful uint64
 	Cleans         uint64
+	Fills          uint64 // lines allocated (demand + prefetch)
+	Evictions      uint64 // valid lines displaced by Fill (dirty or clean)
+	Invalidations  uint64 // valid lines dropped by Invalidate
 }
 
 // New builds a cache level. It panics on invalid geometry so
@@ -151,8 +156,12 @@ func (c *Cache) Fill(addr uint64, write, prefetch bool) (victim uint64, dirtyVic
 	}
 	v := set[vi]
 	set[vi] = line{tag: block, valid: true, dirty: write, prefetched: prefetch, lastUse: c.tick}
+	c.Fills++
 	if prefetch {
 		c.PrefetchFills++
+	}
+	if v.valid {
+		c.Evictions++
 	}
 	if v.valid && v.dirty {
 		c.Writebacks++
@@ -170,10 +179,24 @@ func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
 		if l.valid && l.tag == block {
 			d := l.dirty
 			*l = line{}
+			c.Invalidations++
 			return d
 		}
 	}
 	return false
+}
+
+// Resident returns the number of valid lines.
+func (c *Cache) Resident() int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // DirtyCount returns the number of dirty lines currently resident.
@@ -232,6 +255,24 @@ func (c *Cache) CleanDirtyMatching(max int, match func(addr uint64) bool) []uint
 	}
 	c.Cleans += uint64(len(out))
 	return out
+}
+
+// CheckConservation verifies the level's line accounting: every
+// allocated line is still resident, was evicted, or was invalidated; a
+// line only becomes useful-prefetch after being prefetch-filled.
+func (c *Cache) CheckConservation(source string) []obs.Violation {
+	ck := obs.NewChecker(source)
+	ck.CheckEq(int64(c.Fills), int64(c.Evictions+c.Invalidations)+int64(c.Resident()),
+		"fills==evictions+invalidations+resident")
+	ck.Check(c.Evictions >= c.Writebacks, "evictions>=writebacks",
+		"%d evictions, %d writebacks", c.Evictions, c.Writebacks)
+	ck.Check(c.PrefetchUseful <= c.PrefetchFills, "prefetch-useful<=prefetch-fills",
+		"%d useful, %d fills", c.PrefetchUseful, c.PrefetchFills)
+	ck.Check(c.PrefetchFills <= c.Fills, "prefetch-fills<=fills",
+		"%d prefetch fills, %d fills", c.PrefetchFills, c.Fills)
+	ck.Check(c.Resident() <= c.nsets*c.cfg.Ways, "resident<=capacity",
+		"%d resident, %d lines", c.Resident(), c.nsets*c.cfg.Ways)
+	return ck.Violations()
 }
 
 // MissRate returns misses / (hits + misses), or 0 with no accesses.

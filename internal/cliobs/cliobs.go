@@ -1,0 +1,89 @@
+// Package cliobs registers the shared observability flags every cmd/
+// binary exposes (-check, -metrics, -trace) and finalizes them after the
+// run: metrics and trace files are written where requested, and
+// conservation violations go to stderr with a non-zero exit code.
+// Violations never touch stdout, so the byte-identical-output contract
+// the experiment drivers maintain is unaffected by observability.
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Flags holds the parsed observability flags.
+type Flags struct {
+	Check   bool
+	Metrics string
+	Trace   string
+}
+
+// Register installs -check, -metrics, and -trace on the default flag
+// set. Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.BoolVar(&f.Check, "check", false,
+		"run conservation self-checks after every simulation; violations go to stderr and exit non-zero")
+	flag.StringVar(&f.Metrics, "metrics", "",
+		"write counters and histograms as sorted-key JSON to this file")
+	flag.StringVar(&f.Trace, "trace", "",
+		"write the flight-recorder event trace as JSON lines to this file")
+	return f
+}
+
+// Registry returns a registry for the run when metrics or trace output
+// was requested, else nil (instrumentation stays disabled).
+func (f *Flags) Registry() *obs.Registry {
+	if f.Metrics == "" && f.Trace == "" {
+		return nil
+	}
+	return obs.NewRegistry()
+}
+
+// Finish writes the requested output files and reports violations. It
+// returns the process exit code: non-zero when any conservation check
+// failed or an output file could not be written.
+func (f *Flags) Finish(prog string, reg *obs.Registry, violations []obs.Violation) int {
+	code := 0
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		code = 1
+	}
+	if f.Metrics != "" {
+		if err := writeFile(f.Metrics, reg.WriteMetricsJSON); err != nil {
+			fail(err)
+		}
+	}
+	if f.Trace != "" {
+		if err := writeFile(f.Trace, reg.WriteTraceJSONL); err != nil {
+			fail(err)
+		}
+	}
+	if f.Check {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "%s: conservation violation: %s\n", prog, v)
+		}
+		if len(violations) > 0 {
+			code = 1
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: conservation checks passed\n", prog)
+		}
+	}
+	return code
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

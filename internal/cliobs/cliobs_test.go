@@ -1,0 +1,51 @@
+package cliobs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestFinishWritesFilesAndReportsViolations(t *testing.T) {
+	dir := t.TempDir()
+	f := &Flags{
+		Check:   true,
+		Metrics: filepath.Join(dir, "m.json"),
+		Trace:   filepath.Join(dir, "t.jsonl"),
+	}
+	reg := f.Registry()
+	if reg == nil {
+		t.Fatal("registry nil despite -metrics")
+	}
+	reg.Counter("a/b").Add(3)
+	reg.Recorder("src").Emit(10, "kind", "detail")
+
+	if code := f.Finish("prog", reg, nil); code != 0 {
+		t.Errorf("clean run exit code %d", code)
+	}
+	m, err := os.ReadFile(f.Metrics)
+	if err != nil || !strings.Contains(string(m), `"a/b": 3`) {
+		t.Errorf("metrics file: %v\n%s", err, m)
+	}
+	tr, err := os.ReadFile(f.Trace)
+	if err != nil || !strings.Contains(string(tr), `"kind": "kind"`) {
+		t.Errorf("trace file: %v\n%s", err, tr)
+	}
+
+	if code := f.Finish("prog", reg, []obs.Violation{{Source: "s", Name: "n", Detail: "d"}}); code == 0 {
+		t.Error("violations did not produce a non-zero exit code")
+	}
+}
+
+func TestRegistryNilWithoutOutputFlags(t *testing.T) {
+	f := &Flags{Check: true}
+	if f.Registry() != nil {
+		t.Error("-check alone should not allocate a registry")
+	}
+	if code := f.Finish("prog", nil, nil); code != 0 {
+		t.Errorf("exit code %d", code)
+	}
+}

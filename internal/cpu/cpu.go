@@ -16,6 +16,7 @@ package cpu
 import (
 	"repro/internal/cache"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -48,6 +49,12 @@ type Stats struct {
 	DemandReads  uint64
 	DemandWrites uint64
 	Prefetches   uint64
+
+	// Conservation tallies: memory reads this core submitted and memory
+	// reads it completed (waited on). Prefetch reads are fire-and-forget,
+	// so after Finish, IssuedMemReads == RetiredMemReads + Prefetches.
+	IssuedMemReads  uint64
+	RetiredMemReads uint64
 }
 
 // Core executes one benchmark event stream.
@@ -134,6 +141,7 @@ func (c *Core) Step(ev workload.Event) {
 func (c *Core) Finish() {
 	for _, r := range c.outstanding {
 		done := c.mem.WaitFor(r)
+		c.stats.RetiredMemReads++
 		if done > c.t {
 			c.stats.MemStallPS += done - c.t
 			c.t = done
@@ -183,11 +191,13 @@ func (c *Core) read(addr uint64, stream int, dependent bool) {
 	}
 	c.stats.L3Misses++
 	req := c.mem.SubmitRead(addr, c.t)
+	c.stats.IssuedMemReads++
 	c.fill(c.l3, addr, false)
 	c.fill(c.l2, addr, false)
 	c.fill(c.l1, addr, false)
 	if dependent {
 		done := c.mem.WaitFor(req)
+		c.stats.RetiredMemReads++
 		c.stall(done - c.t + 0) // stall covers the full remaining latency
 		if done > c.t {
 			c.t = done
@@ -199,6 +209,7 @@ func (c *Core) read(addr uint64, stream int, dependent bool) {
 		oldest := c.outstanding[0]
 		c.outstanding = c.outstanding[1:]
 		done := c.mem.WaitFor(oldest)
+		c.stats.RetiredMemReads++
 		if done > c.t {
 			c.stats.MemStallPS += done - c.t
 			c.t = done
@@ -236,6 +247,7 @@ func (c *Core) write(addr uint64, stream int) {
 	c.stats.L3Misses++
 	// Fetch-for-write: posted, retires via the store buffer.
 	req := c.mem.SubmitRead(addr, c.t)
+	c.stats.IssuedMemReads++
 	c.fill(c.l3, addr, true)
 	c.fill(c.l2, addr, true)
 	c.fill(c.l1, addr, true)
@@ -244,6 +256,7 @@ func (c *Core) write(addr uint64, stream int) {
 		oldest := c.outstanding[0]
 		c.outstanding = c.outstanding[1:]
 		done := c.mem.WaitFor(oldest)
+		c.stats.RetiredMemReads++
 		if done > c.t {
 			c.stats.MemStallPS += done - c.t
 			c.t = done
@@ -292,8 +305,9 @@ func (c *Core) prefetchL1(addr uint64, stream int) {
 		// hidden, traffic charged when it reaches memory).
 		if !c.l2.Lookup(pa) && !c.l3.Lookup(pa) {
 			c.mem.SubmitRead(pa, c.t)
-			c.fill(c.l3, pa, false)
+			c.stats.IssuedMemReads++
 			c.stats.Prefetches++
+			c.fill(c.l3, pa, false)
 		}
 		c.fill(c.l1, pa, false)
 		if pb == block+1 && c.nextL1.Enabled() {
@@ -318,9 +332,30 @@ func (c *Core) prefetchL2(addr uint64, stream int) {
 		}
 		if !c.l3.Lookup(pa) {
 			c.mem.SubmitRead(pa, c.t)
-			c.fill(c.l3, pa, false)
+			c.stats.IssuedMemReads++
 			c.stats.Prefetches++
+			c.fill(c.l3, pa, false)
 		}
 		c.fill(c.l2, pa, false)
 	}
+}
+
+// CheckConservation verifies the core's memory-access accounting. Call it
+// after Finish: every issued memory read must have been retired, except
+// prefetches (fire-and-forget by design), and the demand-miss chain must
+// be monotone through the hierarchy.
+func (c *Core) CheckConservation(source string) []obs.Violation {
+	ck := obs.NewChecker(source)
+	s := c.stats
+	ck.Check(len(c.outstanding) == 0, "no-outstanding-reads",
+		"%d reads still in flight (Finish not called?)", len(c.outstanding))
+	ck.CheckEq(int64(s.IssuedMemReads), int64(s.RetiredMemReads+s.Prefetches),
+		"mem-reads-issued==retired+prefetches")
+	ck.Check(s.L1Misses >= s.L2Misses, "l1-misses>=l2-misses",
+		"%d L1, %d L2", s.L1Misses, s.L2Misses)
+	ck.Check(s.L2Misses >= s.L3Misses, "l2-misses>=l3-misses",
+		"%d L2, %d L3", s.L2Misses, s.L3Misses)
+	ck.Check(s.L1Misses <= s.DemandReads+s.DemandWrites, "l1-misses<=demand-accesses",
+		"%d misses, %d accesses", s.L1Misses, s.DemandReads+s.DemandWrites)
+	return ck.Violations()
 }

@@ -33,6 +33,7 @@ type Bank struct {
 
 	// Statistics.
 	Activates    uint64
+	Precharges   uint64
 	RowHits      uint64
 	RowMisses    uint64
 	RowConflicts uint64
@@ -61,6 +62,7 @@ type Rank struct {
 	// Statistics.
 	Refreshes     uint64
 	SelfRefEnters uint64
+	SelfRefExits  uint64
 	Reads         uint64
 	Writes        uint64
 }
@@ -240,6 +242,7 @@ func (r *Rank) Precharge(b int, at int64) {
 	}
 	bank.row = RowClosed
 	bank.readyAct = at + r.timing.TRP
+	bank.Precharges++
 }
 
 // RefreshDue reports whether an auto-refresh deadline has passed. Ranks in
@@ -319,6 +322,7 @@ func (r *Rank) ExitSelfRefresh(at int64) int64 {
 		panic("dram: SRX while not in self-refresh")
 	}
 	r.selfRefresh = false
+	r.SelfRefExits++
 	end := at + r.ExitLatency()
 	r.refBusyEnd = end
 	// Refresh bookkeeping restarts relative to the exit.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/memctrl"
 	"repro/internal/memuse"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/workload"
 )
@@ -40,6 +41,14 @@ type Options struct {
 	// sequential). Every experiment's randomness derives positionally
 	// from Seed, so output is byte-identical for every worker count.
 	Workers int
+	// Check runs the conservation self-checks after every node and
+	// cluster simulation; violations accumulate on the Suite (read them
+	// with Violations). Checks run after each simulation's measurements
+	// are taken, so they never change rendered output.
+	Check bool
+	// Obs, when non-nil, collects counters, histograms, and trace events
+	// from every simulation the suite runs.
+	Obs *obs.Registry
 }
 
 // Suite carries shared state across experiment drivers: the generated
@@ -56,6 +65,9 @@ type Suite struct {
 	frac     memuse.Fractions
 
 	runs runCache
+
+	vmu        sync.Mutex
+	violations []obs.Violation
 }
 
 // runCache is a singleflight-style concurrent cache of node simulations:
@@ -103,6 +115,27 @@ func New(opt Options) *Suite {
 // CachedRuns reports how many distinct node simulations the suite has
 // executed so far.
 func (s *Suite) CachedRuns() int { return s.runs.size() }
+
+// addViolations accumulates conservation violations from a simulation.
+func (s *Suite) addViolations(vs []obs.Violation) {
+	if len(vs) == 0 {
+		return
+	}
+	s.vmu.Lock()
+	s.violations = append(s.violations, vs...)
+	s.vmu.Unlock()
+}
+
+// Violations returns every conservation violation the suite's
+// simulations reported, sorted so the list is identical for any worker
+// count.
+func (s *Suite) Violations() []obs.Violation {
+	s.vmu.Lock()
+	out := append([]obs.Violation(nil), s.violations...)
+	s.vmu.Unlock()
+	obs.SortViolations(out)
+	return out
+}
 
 // Population lazily generates the 119-module study population.
 func (s *Suite) Population() *margin.Population {
@@ -184,7 +217,11 @@ func (s *Suite) runSeed(h node.Hierarchy, d design, prof workload.Profile, seed 
 			cfg.InstructionsPerCore = 40_000
 			cfg.WarmupInstructions = 15_000
 		}
-		return node.MustRun(cfg, prof)
+		cfg.Check = s.opt.Check
+		cfg.Obs = s.opt.Obs
+		res := node.MustRun(cfg, prof)
+		s.addViolations(res.Violations)
+		return res
 	})
 }
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/hpc"
 	"repro/internal/memctrl"
 	"repro/internal/montecarlo"
@@ -103,7 +105,12 @@ func (s *Suite) Fig17() *report.Table {
 	}
 	sims := parallel.MapN(s.opt.Workers, len(defs), func(i int) *hpc.Result {
 		d := defs[i]
-		return hpc.Simulate(tr, d.cluster, d.policy, d.model, s.opt.Seed)
+		scope := fmt.Sprintf("fig17/sim%d/%s", i, d.policy)
+		res, vs := hpc.SimulateObserved(tr, d.cluster, d.policy, d.model, s.opt.Seed, s.opt.Obs, scope)
+		if s.opt.Check {
+			s.addViolations(vs)
+		}
+		return res
 	})
 	conv, more := sims[0], sims[1]
 

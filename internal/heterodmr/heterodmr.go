@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/margin"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -69,11 +70,15 @@ type Config struct {
 type Stats struct {
 	Reads             uint64
 	FastReads         uint64 // served by the unsafely fast copy module
+	SpecReads         uint64 // served from the original at specification
+	NotWritten        uint64 // reads of never-written addresses
 	Writes            uint64
 	BroadcastWrites   uint64
+	DetectPasses      uint64 // fast copy reads that passed detection-only ECC
 	DetectedErrors    uint64
 	WideErrors        uint64 // 8B+ detected errors (count against the epoch budget)
 	Corrections       uint64 // copies repaired from originals
+	Uncorrectable     uint64 // repairs that failed on the original too
 	NaturalCorrected  uint64 // ECC corrections on original blocks
 	EpochFallbacks    uint64 // reads served at spec because the epoch tripped
 	ReplicationPauses uint64 // utilization rose above 50%: replication off
@@ -100,6 +105,7 @@ type Controller struct {
 	replicating bool
 
 	stats Stats
+	rec   *obs.Recorder // epoch-budget events; nil-safe when unobserved
 }
 
 // ErrNotWritten reports a read of an address that was never written.
@@ -235,6 +241,11 @@ func (c *Controller) Read(addr uint64) ([]byte, ReadOutcome, error) {
 			c.stats.EpochFallbacks++
 		}
 		data, natural, err := c.readOriginal(addr)
+		if errors.Is(err, ErrNotWritten) {
+			c.stats.NotWritten++
+		} else {
+			c.stats.SpecReads++
+		}
 		out.Natural = natural
 		return data, out, err
 	}
@@ -242,6 +253,7 @@ func (c *Controller) Read(addr uint64) ([]byte, ReadOutcome, error) {
 	if !ok {
 		// Blocks written before activation are replicated on activation,
 		// so a missing copy means the address was never written.
+		c.stats.NotWritten++
 		return nil, out, ErrNotWritten
 	}
 	out.FastPath = true
@@ -255,6 +267,7 @@ func (c *Controller) Read(addr uint64) ([]byte, ReadOutcome, error) {
 		out.WideError = wide
 	}
 	if c.codec.DecodeDetectOnly(addr, data[:], parity) == nil {
+		c.stats.DetectPasses++
 		return data[:], out, nil
 	}
 	// Detected: repair from the original (§III-C) — slow the channel,
@@ -264,9 +277,12 @@ func (c *Controller) Read(addr uint64) ([]byte, ReadOutcome, error) {
 	if out.WideError {
 		c.stats.WideErrors++
 	}
-	c.epoch.Record(1)
+	if c.epoch.Record(1) {
+		c.rec.Emit(int64(c.stats.Reads), "epoch", "budget-tripped")
+	}
 	good, natural, err := c.readOriginal(addr)
 	if err != nil {
+		c.stats.Uncorrectable++
 		return nil, out, err
 	}
 	out.Natural = natural
@@ -350,7 +366,11 @@ func (c *Controller) injectFault(addr uint64, data *[BlockSize]byte, parity *[ec
 
 // NextEpoch closes the hourly epoch: the error counter re-arms and, if
 // the budget had tripped, replication resumes fast operation (§III-B).
-func (c *Controller) NextEpoch() { c.epoch.NextEpoch() }
+func (c *Controller) NextEpoch() {
+	c.rec.Emit(int64(c.stats.Reads), "epoch",
+		fmt.Sprintf("close count=%d tripped=%v", c.epoch.Count(), c.epoch.Tripped()))
+	c.epoch.NextEpoch()
+}
 
 // EpochTripped reports whether the current epoch exhausted its budget.
 func (c *Controller) EpochTripped() bool { return c.epoch.Tripped() }
@@ -363,6 +383,34 @@ func (c *Controller) ActiveFraction() float64 { return c.epoch.ActiveFraction() 
 
 // Stats returns a copy of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// Observe routes the controller's epoch-budget events into a registry
+// under the given source name. A nil registry detaches.
+func (c *Controller) Observe(reg *obs.Registry, source string) {
+	c.rec = reg.Recorder(source)
+}
+
+// CheckConservation verifies the controller's read/ECC accounting:
+// every read is served by exactly one path, every fast copy read either
+// passes detection or is detected, and every detection is resolved by a
+// correction or an uncorrectable failure.
+func (c *Controller) CheckConservation(source string) []obs.Violation {
+	ck := obs.NewChecker(source)
+	s := c.stats
+	ck.CheckEq(int64(s.Reads), int64(s.FastReads+s.SpecReads+s.NotWritten),
+		"reads==fast+spec+notwritten")
+	ck.CheckEq(int64(s.FastReads), int64(s.DetectPasses+s.DetectedErrors),
+		"copy-reads==detect-pass+detect-fail")
+	ck.CheckEq(int64(s.DetectedErrors), int64(s.Corrections+s.Uncorrectable),
+		"detects==corrections+uncorrectable")
+	ck.Check(s.WideErrors <= s.DetectedErrors, "wide-errors<=detects",
+		"%d wide, %d detected", s.WideErrors, s.DetectedErrors)
+	ck.Check(s.BroadcastWrites <= s.Writes, "broadcasts<=writes",
+		"%d broadcasts, %d writes", s.BroadcastWrites, s.Writes)
+	ck.Check(len(c.copies) <= len(c.orig), "copies<=originals",
+		"%d copies, %d originals", len(c.copies), len(c.orig))
+	return ck.Violations()
+}
 
 // RemapAfterPermanentFault handles a permanent yet correctable fault in
 // the copy module (§III-E): the roles swap, so copies move to the healthy

@@ -1,0 +1,107 @@
+package heterodmr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/margin"
+	"repro/internal/obs"
+)
+
+// churn drives a controller through writes, reads of written and
+// unwritten addresses, utilization swings, and epoch rollovers, so every
+// read-outcome path in Read() is exercised.
+func churn(t *testing.T, c *Controller, reads int) {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		c.Write(uint64(i)*BlockSize, block(uint64(i)))
+	}
+	for i := 0; i < reads; i++ {
+		addr := uint64(i%96) * BlockSize // every 3rd pass hits unwritten blocks
+		_, _, err := c.Read(addr)
+		if err != nil && err != ErrNotWritten {
+			t.Fatalf("read %#x: %v", addr, err)
+		}
+		switch i {
+		case reads / 4:
+			c.SetUtilization(0.8) // pause replication: spec reads
+		case reads / 2:
+			c.SetUtilization(0.1)
+		case 3 * reads / 4:
+			c.NextEpoch()
+		}
+	}
+}
+
+func TestCheckConservationClean(t *testing.T) {
+	for name, fm := range map[string]FaultModel{
+		"clean":  {},
+		"faulty": {PerReadErrorProb: 0.05, WideErrorProb: 0.3, OriginalErrorProb: 0.02},
+	} {
+		t.Run(name, func(t *testing.T) {
+			c := controller(t, fm)
+			churn(t, c, 4000)
+			for _, v := range c.CheckConservation("hdmr") {
+				t.Errorf("violation: %s", v)
+			}
+			s := c.Stats()
+			if s.FastReads == 0 || s.SpecReads == 0 || s.NotWritten == 0 {
+				t.Errorf("workload missed a read path: %+v", s)
+			}
+			if name == "faulty" && (s.DetectedErrors == 0 || s.DetectPasses == 0) {
+				t.Errorf("fault injection missed detection paths: %+v", s)
+			}
+		})
+	}
+}
+
+func TestCheckConservationDetectsMiscount(t *testing.T) {
+	c := controller(t, FaultModel{PerReadErrorProb: 0.05})
+	churn(t, c, 2000)
+	c.stats.FastReads-- // sabotage: a read vanishes from the partition
+	vs := c.CheckConservation("hdmr")
+	if len(vs) == 0 {
+		t.Fatal("sabotaged counter not caught")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Name == "reads==fast+spec+notwritten" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("wrong violations: %v", vs)
+	}
+}
+
+func TestObserveEmitsEpochEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	pop := margin.GeneratePopulation(1)
+	c := MustNew(Config{
+		Modules:           pop.MajorBrands()[:2],
+		Bench:             margin.NewBench(23, 1),
+		Faults:            FaultModel{PerReadErrorProb: 0.05, WideErrorProb: 1.0},
+		MTTSDCTargetYears: 1e14, // tiny budget (~21/epoch) so the churn trips it
+		Seed:              7,
+	})
+	c.Observe(reg, "chan0/hdmr")
+	churn(t, c, 4000)
+	c.NextEpoch()
+	evs := reg.Trace()
+	var kinds []string
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Kind+"/"+ev.Detail)
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "epoch/close") {
+		t.Errorf("no epoch-close event in %q", joined)
+	}
+	// With every detected error wide and a 5% error rate over 4000 reads,
+	// the (small) per-epoch budget must trip.
+	if !strings.Contains(joined, "epoch/budget-tripped") {
+		t.Errorf("no budget-tripped event in %q", joined)
+	}
+	if c.Stats().EpochFallbacks == 0 {
+		t.Error("budget tripped but no spec fallbacks recorded")
+	}
+}

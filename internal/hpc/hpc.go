@@ -103,11 +103,33 @@ func GenerateTrace(jobs, totalNodes int, periodS, targetUtil float64, frac memus
 		tr.Jobs = append(tr.Jobs, j)
 	}
 	// Rescale runtimes so the trace hits the target utilization exactly.
-	scale := targetUtil * float64(totalNodes) * periodS / nodeSeconds
+	// The 1-second floor on runtimes inflates the clamped jobs above their
+	// scaled value, so after clamping, renormalize once: shrink the
+	// unclamped jobs to absorb exactly the node-seconds the floor added.
+	targetNS := targetUtil * float64(totalNodes) * periodS
+	scale := targetNS / nodeSeconds
+	var flooredNS, freeNS float64
+	floored := make([]bool, len(tr.Jobs))
 	for i := range tr.Jobs {
 		tr.Jobs[i].BaseS *= scale
 		if tr.Jobs[i].BaseS < 1 {
 			tr.Jobs[i].BaseS = 1
+			floored[i] = true
+			flooredNS += float64(tr.Jobs[i].Nodes)
+		} else {
+			freeNS += float64(tr.Jobs[i].Nodes) * tr.Jobs[i].BaseS
+		}
+	}
+	if flooredNS > 0 && freeNS > 0 && targetNS > flooredNS {
+		re := (targetNS - flooredNS) / freeNS
+		for i := range tr.Jobs {
+			if floored[i] {
+				continue
+			}
+			tr.Jobs[i].BaseS *= re
+			if tr.Jobs[i].BaseS < 1 {
+				tr.Jobs[i].BaseS = 1 // newly floored; residual error is tiny
+			}
 		}
 	}
 	sort.Slice(tr.Jobs, func(a, b int) bool { return tr.Jobs[a].SubmitS < tr.Jobs[b].SubmitS })

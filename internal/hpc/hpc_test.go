@@ -16,10 +16,16 @@ func smallTrace(seed uint64) (*Trace, int) {
 	return tr, nodes
 }
 
+// TestTraceUtilizationCalibrated pins the renormalize-after-clamp fix:
+// the 1-second runtime floor used to inflate utilization past the target
+// (the old tolerance here was 0.02 to paper over it). After the fix the
+// trace hits the target to within the second-pass floor residual.
 func TestTraceUtilizationCalibrated(t *testing.T) {
-	tr, _ := smallTrace(1)
-	if u := tr.NodeUtilization(); math.Abs(u-TargetNodeUtil) > 0.02 {
-		t.Errorf("trace utilization %.3f, want %.2f", u, TargetNodeUtil)
+	for seed := uint64(1); seed <= 4; seed++ {
+		tr, _ := smallTrace(seed)
+		if u := tr.NodeUtilization(); math.Abs(u-TargetNodeUtil) > 1e-3 {
+			t.Errorf("seed %d: trace utilization %.5f, want %.2f", seed, u, TargetNodeUtil)
+		}
 	}
 }
 

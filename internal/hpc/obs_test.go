@@ -1,0 +1,53 @@
+package hpc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSimulateObservedCleanAndUnperturbed(t *testing.T) {
+	tr, nodes := smallTrace(5)
+	cluster := GroupedCluster(nodes, 0.62, 0.36)
+	model := HeteroDMRModel(1.21, 1.17)
+	for _, policy := range []Policy{PolicyDefault, PolicyMarginAware} {
+		t.Run(policy.String(), func(t *testing.T) {
+			plain := Simulate(tr, cluster, policy, model, 1)
+			reg := obs.NewRegistry()
+			observed, vs := SimulateObserved(tr, cluster, policy, model, 1, reg, "fig17")
+			for _, v := range vs {
+				t.Errorf("violation: %s", v)
+			}
+			if !reflect.DeepEqual(plain, observed) {
+				t.Error("instrumentation perturbed scheduler results")
+			}
+			snap := reg.Snapshot()
+			h, ok := snap.Hists["fig17/sched/queue_depth"]
+			if !ok {
+				t.Fatal("queue-depth histogram missing")
+			}
+			var total uint64
+			for _, c := range h.Counts {
+				total += c
+			}
+			if total == 0 {
+				t.Error("no queue-depth samples recorded")
+			}
+			if snap.Counters["fig17/sched/jobs"] != uint64(len(tr.Jobs)) {
+				t.Errorf("jobs counter %d, want %d", snap.Counters["fig17/sched/jobs"], len(tr.Jobs))
+			}
+		})
+	}
+}
+
+func TestSimulateObservedNilRegistry(t *testing.T) {
+	tr, nodes := smallTrace(6)
+	res, vs := SimulateObserved(tr, UniformCluster(nodes, 0), PolicyDefault, ConventionalModel, 1, nil, "")
+	if len(vs) != 0 {
+		t.Errorf("violations: %v", vs)
+	}
+	if len(res.Jobs) != len(tr.Jobs) {
+		t.Errorf("completed %d of %d jobs", len(res.Jobs), len(tr.Jobs))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -126,9 +127,25 @@ func (h *runHeap) Pop() interface{} {
 // metrics. The cluster, policy, and speedup model together define the
 // system (conventional = uniform margin-0 cluster + ConventionalModel).
 func Simulate(tr *Trace, cluster *Cluster, policy Policy, model SpeedupModel, seed uint64) *Result {
+	res, _ := SimulateObserved(tr, cluster, policy, model, seed, nil, "")
+	return res
+}
+
+// SimulateObserved is Simulate with observability: scheduler queue-depth
+// samples land in reg (nil skips them, scope defaults to "hpc"), and the
+// returned violations report the run's conservation checks — every
+// submitted job completes exactly once, the queue drains, all nodes
+// return to the free pool, and no job has negative wait or non-positive
+// execution time. Instrumentation never changes the Result.
+func SimulateObserved(tr *Trace, cluster *Cluster, policy Policy, model SpeedupModel, seed uint64, reg *obs.Registry, scope string) (*Result, []obs.Violation) {
 	if tr == nil || cluster == nil || model == nil {
 		panic("hpc: nil simulation inputs")
 	}
+	if scope == "" {
+		scope = "hpc"
+	}
+	queueHist := reg.Histogram(scope+"/sched/queue_depth",
+		[]int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024})
 	rng := xrand.New(seed)
 	free := make(map[int]int, len(cluster.total))
 	for m, n := range cluster.total {
@@ -214,10 +231,34 @@ func Simulate(tr *Trace, cluster *Cluster, policy Policy, model SpeedupModel, se
 			}
 			freeTotal += done.job.Nodes
 		}
+		queueHist.Observe(int64(len(queue)))
 		schedule()
 	}
 	res.finalize()
-	return res
+	if reg != nil {
+		reg.Counter(scope + "/sched/jobs").Add(uint64(len(res.Jobs)))
+	}
+
+	ck := obs.NewChecker(scope)
+	ck.CheckEq(int64(len(res.Jobs)), int64(len(tr.Jobs)), "jobs-completed==jobs-submitted")
+	ck.CheckEq(int64(len(queue)), 0, "queue-drained")
+	ck.CheckEq(int64(freeTotal), int64(cluster.Nodes()), "free-nodes-restored")
+	for _, m := range cluster.margins {
+		ck.Check(free[m] == cluster.total[m], fmt.Sprintf("group-%d-restored", m),
+			"%d free, %d total", free[m], cluster.total[m])
+	}
+	badWait, badExec := 0, 0
+	for i := range res.Jobs {
+		if res.Jobs[i].WaitS < 0 {
+			badWait++
+		}
+		if res.Jobs[i].ExecS <= 0 {
+			badExec++
+		}
+	}
+	ck.CheckEq(int64(badWait), 0, "waits-non-negative")
+	ck.CheckEq(int64(badExec), 0, "exec-times-positive")
+	return res, ck.Violations()
 }
 
 // shadow computes when the queue head could start (jobs finish in end

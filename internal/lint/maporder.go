@@ -34,14 +34,15 @@ the output depend on it. Iterate a sorted key slice instead.`,
 
 // mapOrderPkgs is the comma-separated list of package names the analyzer
 // applies to. The default covers the packages whose output is rendered or
-// checksummed (report, experiments, montecarlo) plus the analyzer's own
-// fixture package so `cmd/analyze ./internal/lint/testdata/src/maporder`
-// exercises it without extra flags.
+// checksummed (report, experiments, montecarlo, obs — metrics/trace
+// exports must be byte-stable) plus the analyzer's own fixture package so
+// `cmd/analyze ./internal/lint/testdata/src/maporder` exercises it
+// without extra flags.
 var mapOrderPkgs string
 
 func init() {
 	MapOrder.Flags.StringVar(&mapOrderPkgs, "pkgs",
-		"report,experiments,montecarlo,maporder",
+		"report,experiments,montecarlo,obs,maporder",
 		"comma-separated package names the map-iteration check applies to")
 }
 

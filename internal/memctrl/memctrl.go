@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/dramspec"
+	"repro/internal/obs"
 	"repro/internal/xrand"
 )
 
@@ -241,6 +242,14 @@ type Channel struct {
 	lastUse []int64
 
 	stats Stats
+	consv consvCounters
+
+	// Observability (see Observe); all nil-safe when detached.
+	obsReg     *obs.Registry
+	obsScope   string
+	rec        *obs.Recorder
+	readQHist  *obs.Histogram
+	writeQHist *obs.Histogram
 }
 
 // ControllerOverhead is the fixed controller+interconnect latency added to

@@ -1,0 +1,165 @@
+package memctrl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dramspec"
+	"repro/internal/obs"
+	"repro/internal/xrand"
+)
+
+// TestWBCacheFewerBlocksThanWays is the regression test for the
+// modulo-by-zero panic: blocks < ways used to produce zero sets.
+func TestWBCacheFewerBlocksThanWays(t *testing.T) {
+	w := newWBCache(8, 64)
+	for i := uint64(0); i < 8; i++ {
+		if got := w.insert(i); got != wbParked {
+			t.Fatalf("insert(%d) = %v, want wbParked", i, got)
+		}
+	}
+	if got := w.insert(99); got != wbRejected {
+		t.Fatalf("insert beyond capacity = %v, want wbRejected", got)
+	}
+	if got := w.insert(3); got != wbCoalesced {
+		t.Fatalf("re-insert = %v, want wbCoalesced", got)
+	}
+	if w.len() != 8 {
+		t.Fatalf("len = %d, want 8", w.len())
+	}
+	if got := len(w.drain()); got != 8 {
+		t.Fatalf("drain = %d blocks, want 8", got)
+	}
+}
+
+func TestWBCachePanicsOnNonPositiveSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newWBCache(0, 4) did not panic")
+		}
+	}()
+	newWBCache(0, 4)
+}
+
+// conservationWorkload drives mixed traffic through a channel of the
+// given replication mode, drains it, and returns it for checking.
+func conservationWorkload(t *testing.T, repl Replication, seed uint64) *Channel {
+	t.Helper()
+	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, 800)
+	var fastPtr *dramspec.Config
+	if repl.Fast() {
+		fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, 800)
+		fastPtr = &fast
+	}
+	cfg := DefaultConfig(repl, spec, fastPtr)
+	cfg.Seed = seed
+	cfg.CopyErrorRate = 0.002
+	cfg.WriteBatch = 512 // cycle phases within the workload
+	c := MustNewChannel(cfg)
+
+	rng := xrand.New(seed)
+	at := c.Now()
+	var pending []*Request
+	for i := 0; i < 3000; i++ {
+		addr := rng.Uint64n(1<<27) &^ 63
+		if rng.Bool(0.25) {
+			c.SubmitWrite(addr, at)
+		} else if req := c.SubmitRead(addr, at); req.Done == 0 {
+			pending = append(pending, req)
+		}
+		at += int64(rng.Intn(40)) * dramspec.Nanosecond
+		if len(pending) > 48 {
+			c.WaitFor(pending[0])
+			pending = pending[1:]
+		}
+	}
+	for _, req := range pending {
+		c.WaitFor(req)
+	}
+	c.Drain()
+	return c
+}
+
+func TestCheckConservationCleanAllModes(t *testing.T) {
+	for _, repl := range []Replication{
+		ReplicationNone, ReplicationFMR, ReplicationHeteroDMR, ReplicationHeteroDMRFMR,
+	} {
+		t.Run(repl.String(), func(t *testing.T) {
+			c := conservationWorkload(t, repl, 11)
+			if vs := c.CheckConservation("test/" + repl.String()); len(vs) != 0 {
+				for _, v := range vs {
+					t.Errorf("violation: %s", v)
+				}
+			}
+			cv := c.Conservation()
+			if cv.ReadsSubmitted == 0 || cv.WritesSubmitted == 0 {
+				t.Fatalf("flow counters dead: %+v", cv)
+			}
+		})
+	}
+}
+
+func TestCheckConservationDetectsMiscount(t *testing.T) {
+	c := conservationWorkload(t, ReplicationHeteroDMR, 13)
+	c.stats.Reads-- // sabotage: drop one served read
+	vs := c.CheckConservation("sabotaged")
+	if len(vs) == 0 {
+		t.Fatal("checker missed a deliberately dropped read")
+	}
+	found := false
+	for _, v := range vs {
+		if v.Name == "reads-enqueued==reads-served" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrong violations: %v", vs)
+	}
+}
+
+func TestObserveExportsCommandsAndEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, 800)
+	fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, 800)
+	cfg := DefaultConfig(ReplicationHeteroDMR, spec, &fast)
+	cfg.WriteBatch = 256
+	c := MustNewChannel(cfg)
+	c.Observe(reg, "chan0")
+
+	at := c.Now()
+	for i := 0; i < 2000; i++ {
+		addr := uint64(i*197) % (1 << 26) &^ 63
+		if i%4 == 0 {
+			c.SubmitWrite(addr, at)
+		} else {
+			c.WaitFor(c.SubmitRead(addr, at))
+		}
+		at = c.Now()
+	}
+	c.Drain()
+	c.PublishMetrics()
+
+	m := reg.Snapshot()
+	for _, name := range []string{"chan0/cmd/ACT", "chan0/cmd/RD", "chan0/cmd/WR", "chan0/cmd/PRE", "chan0/cmd/SRE", "chan0/cmd/SRX"} {
+		if m.Counters[name] == 0 {
+			t.Errorf("counter %s = 0, want > 0 (all: %v)", name, m.Names)
+		}
+	}
+	if h, ok := m.Hists["chan0/readq_depth"]; !ok || len(h.Counts) == 0 {
+		t.Error("read-queue histogram missing")
+	}
+	evs := reg.Trace()
+	if len(evs) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	var kinds []string
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Kind+"/"+ev.Detail)
+	}
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"freq/to-slow", "freq/to-fast", "mode/enter-write", "mode/enter-read"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}

@@ -32,6 +32,7 @@ func (c *Channel) correctionPenalty() int64 {
 // that hit the pending-write path are forwarded immediately. Arrival
 // times must be non-decreasing across Submit calls.
 func (c *Channel) SubmitRead(addr uint64, at int64) *Request {
+	c.consv.readsSubmitted++
 	req := &Request{Addr: addr, Arrive: at}
 	req.rank, req.bank, req.row = c.decode(addr)
 	block := addr / uint64(c.cfg.BlockBytes)
@@ -60,9 +61,18 @@ func (c *Channel) SubmitRead(addr uint64, at int64) *Request {
 // SubmitWrite enqueues a writeback of block addr arriving at time `at`.
 // Writes are posted: the caller never waits on them.
 func (c *Channel) SubmitWrite(addr uint64, at int64) {
+	c.consv.writesSubmitted++
 	block := addr / uint64(c.cfg.BlockBytes)
-	if c.wb != nil && !c.writeMode && c.wb.insert(block) {
-		return // parked in the writeback cache
+	if c.wb != nil && !c.writeMode {
+		switch c.wb.insert(block) {
+		case wbParked:
+			c.consv.wbParked++
+			return
+		case wbCoalesced:
+			c.consv.wbCoalesced++
+			return
+		}
+		// wbRejected: fall through to the write buffer.
 	}
 	for len(c.writeQ) >= c.cfg.WriteQueueCap && !c.writeMode {
 		if !c.step() {
@@ -328,6 +338,7 @@ func (c *Channel) serveRead() {
 		return
 	}
 	req := c.readQ[idx]
+	c.readQHist.Observe(int64(len(c.readQ)))
 	rank := c.ranks[serveRank]
 	colReady, outcome := c.openRowFor(rank, req.bank, req.row)
 	c.countOutcome(outcome)
@@ -356,12 +367,16 @@ func (c *Channel) serveRead() {
 	}
 
 	done := end + ControllerOverhead
+	if c.cfg.Replication.Fast() && c.fastMode {
+		c.consv.fastReads++
+	}
 	// Detection-only ECC on unsafely fast copy reads: a detected error
 	// triggers the §III-C correction flow from the original block.
 	if c.cfg.Replication.Fast() && c.fastMode && c.cfg.CopyErrorRate > 0 && c.rng.Bool(c.cfg.CopyErrorRate) {
 		c.stats.DetectedErrors++
 		c.stats.Corrections++
 		c.stats.FreqSwitches += 2
+		c.rec.Emit(c.now, "ecc", "correction")
 		penalty := c.correctionPenalty()
 		done += penalty
 		c.busFreeAt = done
@@ -420,6 +435,7 @@ func (c *Channel) serveWrite() {
 		}
 	}
 	req := c.writeQ[idx]
+	c.writeQHist.Observe(int64(len(c.writeQ)))
 	targets := c.writeTargetRanks(req.rank)
 	// Bring the target row up in every participating rank; the broadcast
 	// column command issues when all of them are ready.
@@ -447,6 +463,7 @@ func (c *Channel) serveWrite() {
 	c.busFreeAt = end
 	c.stats.BusBusyPS += c.ranks[targets[0]].BurstPS()
 	c.stats.Writes++
+	c.consv.extraRankWrites += uint64(len(targets) - 1)
 	if len(targets) > 1 {
 		c.stats.BroadcastWrites++
 	}
@@ -468,6 +485,8 @@ func (c *Channel) enterWriteMode() {
 		panic("memctrl: write mode while unsafely fast (transitionToSlow first)")
 	}
 	c.stats.ModeSwitches++
+	c.consv.enterWrite++
+	c.rec.Emit(c.now, "mode", "enter-write")
 	c.busFreeAt = maxI64(c.busFreeAt, c.now) + c.cfg.Spec.Timing.TRTW
 	c.writeMode = true
 	c.writeModeStart = maxI64(c.now, 0)
@@ -479,7 +498,9 @@ func (c *Channel) enterWriteMode() {
 	// Top up: drain the writeback cache, then clean LLC blocks up to the
 	// remaining batch budget.
 	if c.wb != nil {
-		for _, block := range c.wb.drain() {
+		drained := c.wb.drain()
+		c.consv.wbDrained += uint64(len(drained))
+		for _, block := range drained {
 			addr := block * uint64(c.cfg.BlockBytes)
 			req := &Request{Addr: addr, IsWrite: true, Arrive: c.now}
 			req.rank, req.bank, req.row = c.decode(addr)
@@ -506,6 +527,8 @@ func (c *Channel) enterReadMode() {
 		panic("memctrl: already in read mode")
 	}
 	c.stats.ModeSwitches++
+	c.consv.enterRead++
+	c.rec.Emit(c.now, "mode", "enter-read")
 	c.writeMode = false
 	c.stats.WriteModePS += maxI64(c.now, c.busFreeAt) - c.writeModeStart
 	c.busFreeAt = maxI64(c.busFreeAt, c.now) + c.cfg.Spec.Timing.TRTW
@@ -524,6 +547,8 @@ func (c *Channel) transitionToSlow() {
 	start := maxI64(c.now, c.busFreeAt)
 	c.stats.FastPS += start - c.lastFastStart
 	c.stats.FreqSwitches++
+	c.consv.toSlow++
+	c.rec.Emit(start, "freq", "to-slow")
 	ready := start
 	for _, ri := range c.origRanks() {
 		if end := c.ranks[ri].ExitSelfRefresh(start); end > ready {
@@ -551,7 +576,9 @@ func (c *Channel) transitionToFast() {
 		panic("memctrl: transitionToFast during a write spurt")
 	}
 	c.stats.FreqSwitches++
+	c.consv.toFast++
 	start := maxI64(c.now, c.busFreeAt)
+	c.rec.Emit(start, "freq", "to-fast")
 	ready := start
 	for _, ri := range c.origRanks() {
 		r := c.ranks[ri]

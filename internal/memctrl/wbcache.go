@@ -13,6 +13,15 @@ type wbCache struct {
 }
 
 func newWBCache(blocks, ways int) *wbCache {
+	if blocks <= 0 || ways <= 0 {
+		panic("memctrl: wbCache needs positive blocks and ways")
+	}
+	// blocks < ways would make blocks/ways == 0 sets and setIndex a
+	// modulo-by-zero; a cache smaller than one full set degrades to a
+	// single set of `blocks` ways.
+	if ways > blocks {
+		ways = blocks
+	}
 	return &wbCache{sets: make([][]uint64, blocks/ways), ways: ways}
 }
 
@@ -20,22 +29,31 @@ func (w *wbCache) setIndex(blockAddr uint64) int {
 	return int(blockAddr % uint64(len(w.sets)))
 }
 
-// insert records a dirty block. It reports whether the block was absorbed
-// (already present, or the set had space); the caller falls back to the
-// write buffer otherwise.
-func (w *wbCache) insert(blockAddr uint64) bool {
+// wbInsert is insert's outcome, distinguished so the conservation
+// counters can balance parks against drains exactly.
+type wbInsert int
+
+const (
+	wbRejected  wbInsert = iota // set full; caller uses the write buffer
+	wbCoalesced                 // merged with an already-parked block
+	wbParked                    // newly parked
+)
+
+// insert records a dirty block. The caller falls back to the write buffer
+// on wbRejected.
+func (w *wbCache) insert(blockAddr uint64) wbInsert {
 	set := w.sets[w.setIndex(blockAddr)]
 	for _, a := range set {
 		if a == blockAddr {
-			return true // coalesced with an earlier writeback
+			return wbCoalesced // coalesced with an earlier writeback
 		}
 	}
 	if len(set) >= w.ways {
-		return false
+		return wbRejected
 	}
 	w.sets[w.setIndex(blockAddr)] = append(set, blockAddr)
 	w.count++
-	return true
+	return wbParked
 }
 
 // contains reports whether the block is parked in the cache.

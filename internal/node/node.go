@@ -12,6 +12,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dramspec"
 	"repro/internal/memctrl"
+	"repro/internal/obs"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -76,6 +77,18 @@ type Config struct {
 	// 16); see DESIGN.md's simulation-methodology note.
 	ScaleShift uint
 	Seed       uint64
+
+	// Check enables the conservation self-checks: after the measured
+	// region the channels are drained and every component's accounting
+	// invariants are verified; failures land in Result.Violations. The
+	// checks run after all measurements are taken, so they cannot perturb
+	// reported results.
+	Check bool
+	// Obs, when non-nil, receives per-channel DRAM command counts,
+	// queue-depth histograms, and mode/frequency-switch events, scoped
+	// under ObsScope (defaults to hierarchy/design/benchmark/seed).
+	Obs      *obs.Registry
+	ObsScope string
 }
 
 // DefaultInstructions is the default measured-region length per core; it
@@ -112,6 +125,10 @@ type Result struct {
 	WriteShare float64
 	// ActivatesPerRank feeds the energy model.
 	Activates uint64
+
+	// Violations holds the conservation-invariant failures found when
+	// Config.Check is set (empty on a clean run).
+	Violations []obs.Violation
 }
 
 // router spreads addresses across channels at 1KB granularity, so
@@ -220,6 +237,15 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 		}
 		rt.chans = append(rt.chans, chn)
 	}
+	scope := cfg.ObsScope
+	if scope == "" {
+		scope = fmt.Sprintf("%s/%s/%s/seed%d", cfg.H.Name, cfg.Replication, prof.Name, cfg.Seed)
+	}
+	if cfg.Obs != nil {
+		for i, chn := range rt.chans {
+			chn.Observe(cfg.Obs, fmt.Sprintf("%s/chan%d", scope, i))
+		}
+	}
 
 	l3 := cache.New(cache.Config{
 		SizeBytes:  cfg.H.L3TotalBytes / int(scale),
@@ -234,6 +260,8 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 
 	cores := make([]*cpu.Core, cfg.H.Cores)
 	streams := make([]*workload.Stream, cfg.H.Cores)
+	l1s := make([]*cache.Cache, cfg.H.Cores)
+	l2s := make([]*cache.Cache, cfg.H.Cores)
 	for i := range cores {
 		l1 := cache.New(cache.Config{
 			SizeBytes:  64 << 10, // 64KB split D/I modelled as one (Table IV)
@@ -247,6 +275,7 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 			BlockBytes: 64,
 			LatencyPS:  12 * cpu.ClockPS,
 		})
+		l1s[i], l2s[i] = l1, l2
 		cores[i] = cpu.New(cpu.Config{ID: i, L1: l1, L2: l2, L3: l3, Mem: rt, MLP: prof.MLP})
 		// Each core runs one MPI rank of the benchmark: same profile,
 		// distinct address-space slice via the seed.
@@ -333,7 +362,59 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 	if total := res.Mem.Reads + res.Mem.Writes; total > 0 {
 		res.WriteShare = float64(res.Mem.Writes) / float64(total)
 	}
+
+	// Self-checks and metric export run strictly after every measurement
+	// above is taken: draining the channels here cannot change the
+	// reported result.
+	if cfg.Check || cfg.Obs != nil {
+		for _, chn := range rt.chans {
+			chn.Drain()
+		}
+	}
+	if cfg.Check {
+		for i, chn := range rt.chans {
+			res.Violations = append(res.Violations,
+				chn.CheckConservation(fmt.Sprintf("%s/chan%d", scope, i))...)
+		}
+		for i, c := range cores {
+			res.Violations = append(res.Violations,
+				c.CheckConservation(fmt.Sprintf("%s/core%d", scope, i))...)
+			res.Violations = append(res.Violations,
+				l1s[i].CheckConservation(fmt.Sprintf("%s/core%d/l1", scope, i))...)
+			res.Violations = append(res.Violations,
+				l2s[i].CheckConservation(fmt.Sprintf("%s/core%d/l2", scope, i))...)
+		}
+		res.Violations = append(res.Violations, l3.CheckConservation(scope+"/l3")...)
+		res.Violations = append(res.Violations, checkWarmup(scope, res)...)
+	}
+	if cfg.Obs != nil {
+		for _, chn := range rt.chans {
+			chn.PublishMetrics()
+		}
+	}
 	return res, nil
+}
+
+// checkWarmup verifies the warmup-subtraction accounting: the measured
+// region's counters must all be non-negative (a negative value means the
+// snapshot covered a field the subtraction missed, or vice versa).
+func checkWarmup(scope string, res Result) []obs.Violation {
+	ck := obs.NewChecker(scope + "/warmup")
+	m := res.Mem
+	ck.Check(m.BusBusyPS >= 0, "bus-busy-nonnegative", "BusBusyPS=%d", m.BusBusyPS)
+	ck.Check(m.FastPS >= 0, "fast-time-nonnegative", "FastPS=%d", m.FastPS)
+	ck.Check(m.WriteModePS >= 0, "write-mode-time-nonnegative", "WriteModePS=%d", m.WriteModePS)
+	ck.Check(m.ReadLatencySumPS >= 0, "read-latency-nonnegative", "ReadLatencySumPS=%d", m.ReadLatencySumPS)
+	ck.CheckEq(int64(m.RowHits+m.RowMisses+m.RowConflicts), int64(m.Reads+m.Writes),
+		"measured-row-outcomes==measured-accesses")
+	for i, s := range res.CoreStats {
+		ck.Check(s.Instructions >= 0, "core-instructions-nonnegative",
+			"core %d: %d", i, s.Instructions)
+		ck.Check(s.ComputePS >= 0 && s.MemStallPS >= 0 && s.CommPS >= 0,
+			"core-time-nonnegative", "core %d: compute=%d stall=%d comm=%d",
+			i, s.ComputePS, s.MemStallPS, s.CommPS)
+	}
+	return ck.Violations()
 }
 
 // prefillL3 seeds the LLC with footprint-resident blocks, a quarter of
@@ -367,6 +448,7 @@ func gather(rt *router) (memctrl.Stats, uint64) {
 		m.CleanedBlocks += s.CleanedBlocks
 		m.BusBusyPS += s.BusBusyPS
 		m.FastPS += s.FastPS
+		m.WriteModePS += s.WriteModePS
 		m.ReadLatencySumPS += s.ReadLatencySumPS
 		m.ReadCount += s.ReadCount
 		for i := 0; i < chn.Config().Ranks; i++ {
@@ -395,6 +477,7 @@ func subMem(a, b memctrl.Stats) memctrl.Stats {
 		CleanedBlocks:    a.CleanedBlocks - b.CleanedBlocks,
 		BusBusyPS:        a.BusBusyPS - b.BusBusyPS,
 		FastPS:           a.FastPS - b.FastPS,
+		WriteModePS:      a.WriteModePS - b.WriteModePS,
 		ReadLatencySumPS: a.ReadLatencySumPS - b.ReadLatencySumPS,
 		ReadCount:        a.ReadCount - b.ReadCount,
 	}
@@ -402,16 +485,18 @@ func subMem(a, b memctrl.Stats) memctrl.Stats {
 
 func subCore(a, b cpu.Stats) cpu.Stats {
 	return cpu.Stats{
-		Instructions: a.Instructions - b.Instructions,
-		ComputePS:    a.ComputePS - b.ComputePS,
-		MemStallPS:   a.MemStallPS - b.MemStallPS,
-		CommPS:       a.CommPS - b.CommPS,
-		L1Misses:     a.L1Misses - b.L1Misses,
-		L2Misses:     a.L2Misses - b.L2Misses,
-		L3Misses:     a.L3Misses - b.L3Misses,
-		DemandReads:  a.DemandReads - b.DemandReads,
-		DemandWrites: a.DemandWrites - b.DemandWrites,
-		Prefetches:   a.Prefetches - b.Prefetches,
+		Instructions:    a.Instructions - b.Instructions,
+		ComputePS:       a.ComputePS - b.ComputePS,
+		MemStallPS:      a.MemStallPS - b.MemStallPS,
+		CommPS:          a.CommPS - b.CommPS,
+		L1Misses:        a.L1Misses - b.L1Misses,
+		L2Misses:        a.L2Misses - b.L2Misses,
+		L3Misses:        a.L3Misses - b.L3Misses,
+		DemandReads:     a.DemandReads - b.DemandReads,
+		DemandWrites:    a.DemandWrites - b.DemandWrites,
+		Prefetches:      a.Prefetches - b.Prefetches,
+		IssuedMemReads:  a.IssuedMemReads - b.IssuedMemReads,
+		RetiredMemReads: a.RetiredMemReads - b.RetiredMemReads,
 	}
 }
 

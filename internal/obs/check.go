@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation is one failed conservation invariant. Source identifies the
+// component (e.g. "node/fig12/dmr/lbm/seed7/chan2"), Name the invariant
+// (e.g. "reads-enqueued==reads-served"), Detail the observed imbalance.
+type Violation struct {
+	Source string
+	Name   string
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Source, v.Name, v.Detail)
+}
+
+// SortViolations orders violations by (source, name, detail) so reports
+// are deterministic regardless of the order checks ran in.
+func SortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// Checker accumulates violations for one source. The zero value is not
+// usable; construct with NewChecker. A nil *Checker ignores all checks,
+// so instrumented packages can run unconditionally.
+type Checker struct {
+	source     string
+	violations []Violation
+}
+
+// NewChecker returns a checker reporting under the given source name.
+func NewChecker(source string) *Checker { return &Checker{source: source} }
+
+// Check records a violation when ok is false. The detail is formatted
+// lazily only on failure.
+func (c *Checker) Check(ok bool, name, format string, args ...any) {
+	if c == nil || ok {
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Source: c.source,
+		Name:   name,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// CheckEq records a violation when got != want, with a standard detail.
+func (c *Checker) CheckEq(got, want int64, name string) {
+	c.Check(got == want, name, "got %d, want %d", got, want)
+}
+
+// Violations returns the recorded violations. Nil on a nil checker.
+func (c *Checker) Violations() []Violation {
+	if c == nil {
+		return nil
+	}
+	return c.violations
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", c.Value())
+	}
+	h := r.Histogram("h", []int64{1, 2})
+	h.Observe(1)
+	if h.Counts() != nil || h.Total() != 0 {
+		t.Fatalf("nil histogram not inert: counts=%v total=%d", h.Counts(), h.Total())
+	}
+	rec := r.Recorder("s")
+	rec.Emit(0, "k", "d")
+	if rec.Emitted() != 0 || rec.Events() != nil {
+		t.Fatalf("nil recorder not inert")
+	}
+	if got := r.Snapshot(); len(got.Names) != 0 {
+		t.Fatalf("nil registry snapshot has names: %v", got.Names)
+	}
+	if got := r.Trace(); got != nil {
+		t.Fatalf("nil registry trace = %v, want nil", got)
+	}
+}
+
+func TestCounterAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("acts")
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Fatalf("counter = %d, want 7", c.Value())
+	}
+	if r.Counter("acts") != c {
+		t.Fatalf("Counter not idempotent")
+	}
+
+	h := r.Histogram("qdepth", []int64{4, 1, 16}) // unsorted on purpose
+	for _, v := range []int64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	wantBounds := []int64{1, 4, 16}
+	gotBounds := h.Bounds()
+	for i := range wantBounds {
+		if gotBounds[i] != wantBounds[i] {
+			t.Fatalf("bounds = %v, want %v", gotBounds, wantBounds)
+		}
+	}
+	// 0,1 -> <=1; 2 -> <=4; 5 -> <=16; 100 -> overflow
+	want := []uint64{2, 1, 1, 1}
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", got, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d, want 5", h.Total())
+	}
+}
+
+func TestCounterConcurrentAddsDeterministicTotal(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("shared")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestRecorderRingBounded(t *testing.T) {
+	r := NewRegistryCap(4)
+	rec := r.Recorder("chan0")
+	for i := 0; i < 10; i++ {
+		rec.Emit(int64(i*100), "tick", "")
+	}
+	if rec.Emitted() != 10 {
+		t.Fatalf("emitted = %d, want 10", rec.Emitted())
+	}
+	if rec.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", rec.Dropped())
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d seq = %d, want %d (events=%v)", i, ev.Seq, wantSeq, evs)
+		}
+		if ev.TimePS != int64(wantSeq)*100 {
+			t.Fatalf("event %d time = %d, want %d", i, ev.TimePS, int64(wantSeq)*100)
+		}
+	}
+}
+
+func TestMetricsJSONSortedAndStable(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("zeta").Add(2)
+		r.Counter("alpha").Add(1)
+		h := r.Histogram("mid", []int64{10, 20})
+		h.Observe(5)
+		h.Observe(15)
+		h.Observe(25)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteMetricsJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteMetricsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("metrics JSON not byte-stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	s := a.String()
+	if strings.Index(s, `"alpha"`) > strings.Index(s, `"zeta"`) {
+		t.Fatalf("counter keys not sorted:\n%s", s)
+	}
+	for _, want := range []string{`"alpha": 1`, `"zeta": 2`, `"bounds": [10, 20]`, `"counts": [1, 1, 1]`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("metrics JSON missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTraceJSONLSortedBySourceSeq(t *testing.T) {
+	r := NewRegistry()
+	b := r.Recorder("bravo")
+	a := r.Recorder("alpha")
+	b.Emit(10, "k", "b0")
+	a.Emit(5, "k", "a0")
+	b.Emit(20, "k", "b1")
+	a.Emit(7, "k", "a1")
+
+	var out bytes.Buffer
+	if err := r.WriteTraceJSONL(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out.String())
+	}
+	wantOrder := []string{`"a0"`, `"a1"`, `"b0"`, `"b1"`}
+	for i, want := range wantOrder {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d = %q, want detail %s", i, lines[i], want)
+		}
+	}
+}
+
+func TestCheckerRecordsViolations(t *testing.T) {
+	c := NewChecker("unit")
+	c.Check(true, "always-ok", "unused %d", 1)
+	c.CheckEq(3, 3, "eq-ok")
+	c.CheckEq(3, 4, "eq-bad")
+	c.Check(false, "pred-bad", "x=%d", 9)
+	vs := c.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want 2", vs)
+	}
+	if vs[0].Name != "eq-bad" || vs[0].Detail != "got 3, want 4" {
+		t.Fatalf("violation 0 = %+v", vs[0])
+	}
+	if got := vs[1].String(); got != "unit: pred-bad: x=9" {
+		t.Fatalf("String = %q", got)
+	}
+
+	var nilC *Checker
+	nilC.Check(false, "ignored", "")
+	if nilC.Violations() != nil {
+		t.Fatalf("nil checker recorded violations")
+	}
+}
+
+func TestSortViolations(t *testing.T) {
+	vs := []Violation{
+		{Source: "b", Name: "n", Detail: "d"},
+		{Source: "a", Name: "z", Detail: "d"},
+		{Source: "a", Name: "a", Detail: "2"},
+		{Source: "a", Name: "a", Detail: "1"},
+	}
+	SortViolations(vs)
+	want := []Violation{
+		{Source: "a", Name: "a", Detail: "1"},
+		{Source: "a", Name: "a", Detail: "2"},
+		{Source: "a", Name: "z", Detail: "d"},
+		{Source: "b", Name: "n", Detail: "d"},
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("sorted[%d] = %+v, want %+v", i, vs[i], want[i])
+		}
+	}
+}

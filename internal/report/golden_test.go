@@ -20,6 +20,7 @@ func golden() *report.Table {
 	t.AddRowf("alpha", 1.0, "3.1%")
 	t.AddRowf("a-much-longer-name", 12345, "100.0%")
 	t.AddRowf("beta", float32(2.5), "0.0%")
+	t.AddRow(`pipe|and\slash`, "a|b", "1|2%")
 	t.Note("notes render under the table, %d of them", 1)
 	return t
 }

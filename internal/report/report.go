@@ -94,16 +94,33 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Markdown renders the table as GitHub-flavored markdown.
+// mdEscape escapes the characters that would break a markdown table
+// cell: a literal "|" ends the cell, and a trailing "\" would escape the
+// closing delimiter.
+func mdEscape(cell string) string {
+	cell = strings.ReplaceAll(cell, `\`, `\\`)
+	return strings.ReplaceAll(cell, "|", `\|`)
+}
+
+// Markdown renders the table as GitHub-flavored markdown. Cell content
+// is escaped so literal pipes (e.g. "a|b" configuration labels) stay
+// inside their cell instead of splitting the row.
 func (t *Table) Markdown() string {
 	var b strings.Builder
 	if t.Title != "" {
 		fmt.Fprintf(&b, "### %s\n\n", t.Title)
 	}
-	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	esc := func(cells []string) []string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = mdEscape(c)
+		}
+		return out
+	}
+	b.WriteString("| " + strings.Join(esc(t.Columns), " | ") + " |\n")
 	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
 	for _, row := range t.Rows {
-		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+		b.WriteString("| " + strings.Join(esc(row), " | ") + " |\n")
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "\n*%s*\n", n)

@@ -53,6 +53,28 @@ func TestMarkdown(t *testing.T) {
 	}
 }
 
+// TestMarkdownEscapesPipes is the regression test for literal pipes in
+// cell content (e.g. "a|b" configuration labels): unescaped they split
+// the cell, silently shifting every later column in the rendered row.
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tb := New("", "cfg", "speedup")
+	tb.AddRow("fast|slow", "1.2")
+	md := tb.Markdown()
+	if !strings.Contains(md, `| fast\|slow | 1.2 |`) {
+		t.Errorf("pipe not escaped:\n%s", md)
+	}
+	// Every data row must render exactly len(Columns)+1 unescaped pipes.
+	row := strings.Split(md, "\n")[2]
+	if n := strings.Count(row, "|") - strings.Count(row, `\|`); n != 3 {
+		t.Errorf("row has %d cell delimiters, want 3: %q", n, row)
+	}
+	tb2 := New("", "c")
+	tb2.AddRow(`back\slash`)
+	if md2 := tb2.Markdown(); !strings.Contains(md2, `back\\slash`) {
+		t.Errorf("backslash not escaped:\n%s", md2)
+	}
+}
+
 func TestEmptyTitle(t *testing.T) {
 	tb := New("", "a")
 	tb.AddRow("x")

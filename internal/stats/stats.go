@@ -169,8 +169,11 @@ func FractionAtLeast(xs []float64, threshold float64) float64 {
 }
 
 // Histogram counts xs into equal-width bins spanning [lo, hi). Values
-// outside the range are clamped into the first/last bin. It panics if
-// bins <= 0 or hi <= lo.
+// outside the range are clamped into the first/last bin: -Inf lands in
+// the first bin, +Inf in the last, and NaN is skipped (it belongs to no
+// bin). The special cases are tested before the float-to-int conversion,
+// whose behaviour on NaN/out-of-range values is platform-dependent in
+// Go. It panics if bins <= 0 or hi <= lo.
 func Histogram(xs []float64, lo, hi float64, bins int) []int {
 	if bins <= 0 || hi <= lo {
 		panic("stats: invalid Histogram parameters")
@@ -178,11 +181,18 @@ func Histogram(xs []float64, lo, hi float64, bins int) []int {
 	counts := make([]int, bins)
 	width := (hi - lo) / float64(bins)
 	for _, x := range xs {
-		i := int((x - lo) / width)
-		if i < 0 {
-			i = 0
+		switch {
+		case math.IsNaN(x):
+			continue
+		case x < lo || math.IsInf(x, -1):
+			counts[0]++
+			continue
+		case x >= hi || math.IsInf(x, 1):
+			counts[bins-1]++
+			continue
 		}
-		if i >= bins {
+		i := int((x - lo) / width)
+		if i >= bins { // float rounding at the upper edge
 			i = bins - 1
 		}
 		counts[i]++

@@ -117,6 +117,31 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramNonFinite pins the deterministic handling of NaN and ±Inf:
+// the old code fed them straight into a float-to-int conversion, whose
+// result for NaN/out-of-range values is platform-dependent.
+func TestHistogramNonFinite(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{nan, math.Inf(-1), math.Inf(1), 0.5, nan}
+	h := Histogram(xs, 0, 2, 4)
+	want := []int{1, 1, 0, 1} // -Inf → bin0, 0.5 → bin1, +Inf → bin3, NaNs skipped
+	total := 0
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d (all: %v)", i, h[i], want[i], h)
+		}
+		total += h[i]
+	}
+	if total != len(xs)-2 {
+		t.Errorf("counted %d values, want %d (NaNs must be skipped)", total, len(xs)-2)
+	}
+	// Upper edge: hi itself clamps into the last bin, never out of range.
+	h = Histogram([]float64{2, math.Nextafter(2, 0)}, 0, 2, 4)
+	if h[3] != 2 {
+		t.Errorf("upper-edge values landed in %v, want both in bin3", h)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{600, 800, 1000})
 	if s.N != 3 || s.Mean != 800 || s.Min != 600 || s.Max != 1000 {
