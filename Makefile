@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race lint fmt vet analyze fuzz check ci
+.PHONY: all build test race lint fmt vet analyze fuzz check bench bench-smoke ci
 
 all: build test lint
 
@@ -33,6 +33,22 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzGF256MulInverse -fuzztime $(FUZZTIME) ./internal/gf256
 	$(GO) test -run NONE -fuzz FuzzRSRoundTrip -fuzztime $(FUZZTIME) ./internal/rs
 	$(GO) test -run NONE -fuzz FuzzAddrMapBijective -fuzztime $(FUZZTIME) ./internal/memctrl
+
+# bench runs the hot-path benchmark suite with allocation reporting: the
+# three steady-state micro-benchmarks (which must stay at 0 allocs/op)
+# and the full-suite BenchmarkRunAllSeq. Reference numbers live in
+# BENCH_hotpath.json.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkChannelReadStream -benchmem ./internal/memctrl
+	$(GO) test -run '^$$' -bench BenchmarkHeteroDMRReadMode -benchmem ./internal/heterodmr
+	$(GO) test -run '^$$' -bench BenchmarkRSDetect -benchmem ./internal/rs
+	$(GO) test -run '^$$' -bench 'BenchmarkRunAll' -benchmem -benchtime 1x .
+
+# bench-smoke compiles and runs every benchmark once under the race
+# detector — a correctness gate (the benchmarks drive the same pooled
+# code paths the experiment engine uses concurrently), not a timing run.
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench . -benchtime 1x ./...
 
 # check runs the quick experiment suite with conservation self-checks:
 # any accounting violation in the simulators fails the build.

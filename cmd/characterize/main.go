@@ -19,6 +19,9 @@ func main() {
 	ob := cliobs.Register()
 	flag.Parse()
 
+	if code := ob.StartProfile("characterize"); code != 0 {
+		os.Exit(code)
+	}
 	reg := ob.Registry()
 	s := experiments.New(experiments.Options{Seed: *seed, Check: ob.Check, Obs: reg})
 	ids := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig6"}

@@ -20,6 +20,9 @@ func main() {
 	ob := cliobs.Register()
 	flag.Parse()
 
+	if code := ob.StartProfile("emulate"); code != 0 {
+		os.Exit(code)
+	}
 	reg := ob.Registry()
 	s := experiments.New(experiments.Options{Seed: *seed, Quick: *quick, Check: ob.Check, Obs: reg})
 	ids := []string{"fig5", "fig16"}

@@ -45,6 +45,9 @@ func main() {
 		}
 		return
 	}
+	if code := ob.StartProfile("heterodmr"); code != 0 {
+		os.Exit(code)
+	}
 	reg := ob.Registry()
 	s := experiments.New(experiments.Options{
 		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,

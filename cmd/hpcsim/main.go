@@ -25,6 +25,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hpcsim: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
 		os.Exit(2)
 	}
+	if code := ob.StartProfile("hpcsim"); code != 0 {
+		os.Exit(code)
+	}
 	reg := ob.Registry()
 	s := experiments.New(experiments.Options{
 		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,

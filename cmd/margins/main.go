@@ -23,6 +23,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "margins: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
 		os.Exit(2)
 	}
+	if code := ob.StartProfile("margins"); code != 0 {
+		os.Exit(code)
+	}
 	reg := ob.Registry()
 	s := experiments.New(experiments.Options{
 		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,

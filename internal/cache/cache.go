@@ -48,11 +48,60 @@ type Cache struct {
 	Fills          uint64 // lines allocated (demand + prefetch)
 	Evictions      uint64 // valid lines displaced by Fill (dirty or clean)
 	Invalidations  uint64 // valid lines dropped by Invalidate
+
+	// Scratch reused across CleanDirtyMatching calls; the slice that call
+	// returns aliases cleanOut and is valid until the next call.
+	cleanCands cleanCands
+	cleanOut   []uint64
+}
+
+// Arena is a reusable backing store for cache line arrays. A caller that
+// builds many short-lived hierarchies back to back (the experiment
+// engine's prewarm cache) keeps one Arena per worker: NewIn carves each
+// cache's lines out of it, and Reset zeroes the used portion so the next
+// hierarchy starts from the exact state a fresh allocation would have.
+// The zero value is ready to use. An Arena must not be Reset while any
+// cache built from it is still in use.
+type Arena struct {
+	lines []line
+	off   int
+}
+
+// alloc hands out a zeroed window of n lines. When the current backing is
+// exhausted a larger one is allocated; windows carved earlier keep
+// pointing at the old backing, which dies with the hierarchy using it.
+func (a *Arena) alloc(n int) []line {
+	if a.off+n > len(a.lines) {
+		size := 2 * len(a.lines)
+		if size < n {
+			size = n
+		}
+		a.lines = make([]line, size)
+		a.off = 0
+	}
+	s := a.lines[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// Reset zeroes the lines handed out since the last Reset, readying the
+// Arena for the next hierarchy.
+func (a *Arena) Reset() {
+	used := a.lines[:a.off]
+	for i := range used {
+		used[i] = line{}
+	}
+	a.off = 0
 }
 
 // New builds a cache level. It panics on invalid geometry so
 // misconfiguration fails fast at node construction.
-func New(cfg Config) *Cache {
+func New(cfg Config) *Cache { return NewIn(nil, cfg) }
+
+// NewIn is New with the line array carved out of arena (nil behaves like
+// New). Arena-backed caches cost no steady-state allocation when the
+// arena is recycled across hierarchies.
+func NewIn(arena *Arena, cfg Config) *Cache {
 	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes <= 0 {
 		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
 	}
@@ -65,9 +114,19 @@ func New(cfg Config) *Cache {
 		panic("cache: zero sets")
 	}
 	c := &Cache{cfg: cfg, nsets: nsets}
+	// One flat backing array carved into per-set windows: two allocations
+	// for the whole cache (or none, from an arena) instead of one per set,
+	// which matters because node simulations construct fresh hierarchies
+	// per run.
+	var flat []line
+	if arena != nil {
+		flat = arena.alloc(nsets * cfg.Ways)
+	} else {
+		flat = make([]line, nsets*cfg.Ways)
+	}
 	c.sets = make([][]line, nsets)
 	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+		c.sets[i] = flat[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return c
 }
@@ -89,9 +148,9 @@ func (c *Cache) Block(addr uint64) uint64 { return addr / uint64(c.cfg.BlockByte
 // Lookup probes the cache without changing replacement or dirty state.
 func (c *Cache) Lookup(addr uint64) bool {
 	block := c.Block(addr)
-	for i := range c.sets[c.index(block)] {
-		l := &c.sets[c.index(block)][i]
-		if l.valid && l.tag == block {
+	set := c.sets[c.index(block)]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
 			return true
 		}
 	}
@@ -133,24 +192,26 @@ func (c *Cache) Fill(addr uint64, write, prefetch bool) (victim uint64, dirtyVic
 	c.tick++
 	block := c.Block(addr)
 	set := c.sets[c.index(block)]
-	// Already present (e.g. racing prefetch): just update.
+	// One pass over the set: bail out if the block is already present
+	// (e.g. a racing prefetch) while tracking the victim for the miss
+	// case — the first invalid way, else the least-recently-used one.
+	vi := -1
 	for i := range set {
 		l := &set[i]
-		if l.valid && l.tag == block {
+		if !l.valid {
+			if vi < 0 || set[vi].valid {
+				vi = i
+			}
+			continue
+		}
+		if l.tag == block {
 			if write {
 				l.dirty = true
 			}
 			l.lastUse = c.tick
 			return 0, false
 		}
-	}
-	vi := 0
-	for i := range set {
-		if !set[i].valid {
-			vi = i
-			break
-		}
-		if set[i].lastUse < set[vi].lastUse {
+		if vi < 0 || (set[vi].valid && l.lastUse < set[vi].lastUse) {
 			vi = i
 		}
 	}
@@ -220,18 +281,52 @@ func (c *Cache) CleanDirty(max int) []uint64 {
 	return c.CleanDirtyMatching(max, nil)
 }
 
+// cleanCand locates one dirty line considered for proactive cleaning.
+type cleanCand struct {
+	set, way int
+	lastUse  uint64
+}
+
+// cleanCands sorts candidates least-recently-used first. lastUse values
+// are unique (the tick advances on every access), so the order — and the
+// drained output — is deterministic.
+type cleanCands []cleanCand
+
+func (s cleanCands) Len() int           { return len(s) }
+func (s cleanCands) Less(i, j int) bool { return s[i].lastUse < s[j].lastUse }
+func (s cleanCands) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// siftDown restores the max-heap property (largest lastUse at the root)
+// at index i of h. Hand-rolled rather than container/heap because the
+// interface boxes every Push/Pop operand, and this runs on the write-mode
+// path.
+func siftDown(h []cleanCand, i int) {
+	for {
+		child := 2*i + 1
+		if child >= len(h) {
+			return
+		}
+		if r := child + 1; r < len(h) && h[r].lastUse > h[child].lastUse {
+			child = r
+		}
+		if h[child].lastUse <= h[i].lastUse {
+			return
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+}
+
 // CleanDirtyMatching is CleanDirty restricted to blocks whose address
 // satisfies match (nil matches everything); multi-channel nodes use it so
 // each channel's write batch cleans only blocks homed on that channel.
+// The returned slice aliases internal scratch valid until the next call;
+// callers consume it immediately (memctrl moves it into its write queue).
 func (c *Cache) CleanDirtyMatching(max int, match func(addr uint64) bool) []uint64 {
 	if max <= 0 {
 		return nil
 	}
-	type cand struct {
-		set, way int
-		lastUse  uint64
-	}
-	var cands []cand
+	cands := c.cleanCands[:0]
 	for si, set := range c.sets {
 		for wi := range set {
 			if !set[wi].valid || !set[wi].dirty {
@@ -240,19 +335,37 @@ func (c *Cache) CleanDirtyMatching(max int, match func(addr uint64) bool) []uint
 			if match != nil && !match(set[wi].tag*uint64(c.cfg.BlockBytes)) {
 				continue
 			}
-			cands = append(cands, cand{si, wi, set[wi].lastUse})
+			cands = append(cands, cleanCand{si, wi, set[wi].lastUse})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUse < cands[j].lastUse })
+	c.cleanCands = cands
 	if len(cands) > max {
-		cands = cands[:max]
+		// Bounded selection: keep the max least-recently-used candidates in
+		// a max-heap (root = youngest kept) and stream the rest through it,
+		// then sort just the survivors. Because lastUse values are unique,
+		// this yields exactly the same output as sorting every candidate and
+		// truncating — at O(n log max) instead of O(n log n), which matters
+		// when the LLC holds far more dirty lines than the batch cleans.
+		h := cands[:max]
+		for i := max/2 - 1; i >= 0; i-- {
+			siftDown(h, i)
+		}
+		for _, cd := range cands[max:] {
+			if cd.lastUse < h[0].lastUse {
+				h[0] = cd
+				siftDown(h, 0)
+			}
+		}
+		cands = h
 	}
-	out := make([]uint64, 0, len(cands))
+	sort.Sort(cands)
+	out := c.cleanOut[:0]
 	for _, cd := range cands {
 		l := &c.sets[cd.set][cd.way]
 		l.dirty = false
 		out = append(out, l.tag*uint64(c.cfg.BlockBytes))
 	}
+	c.cleanOut = out
 	c.Cleans += uint64(len(out))
 	return out
 }

@@ -29,12 +29,19 @@ func NewStridePrefetcher(degree int) *StridePrefetcher {
 }
 
 // Observe records a demand block address on a stream and returns the block
-// addresses to prefetch (empty until the stride is confident).
+// addresses to prefetch (empty until the stride is confident). It
+// allocates the returned slice; hot paths use AppendObserve instead.
 func (p *StridePrefetcher) Observe(stream int, block uint64) []uint64 {
+	return p.AppendObserve(nil, stream, block)
+}
+
+// AppendObserve is Observe appending its predictions to dst, so a caller
+// reusing one scratch buffer observes without allocating.
+func (p *StridePrefetcher) AppendObserve(dst []uint64, stream int, block uint64) []uint64 {
 	st, ok := p.streams[stream]
 	if !ok {
 		p.streams[stream] = &strideState{last: block}
-		return nil
+		return dst
 	}
 	stride := int64(block) - int64(st.last)
 	if stride == st.stride && stride != 0 {
@@ -47,18 +54,17 @@ func (p *StridePrefetcher) Observe(stream int, block uint64) []uint64 {
 	}
 	st.last = block
 	if st.confidence < 2 {
-		return nil
+		return dst
 	}
-	out := make([]uint64, 0, p.degree)
 	next := int64(block)
 	for i := 0; i < p.degree; i++ {
 		next += st.stride
 		if next < 0 {
 			break
 		}
-		out = append(out, uint64(next))
+		dst = append(dst, uint64(next))
 	}
-	return out
+	return dst
 }
 
 // NextLinePrefetcher prefetches block+1 on every demand miss, but monitors
@@ -86,10 +92,17 @@ func NewNextLinePrefetcher(window uint64, minAccuracy float64) *NextLinePrefetch
 func (p *NextLinePrefetcher) Enabled() bool { return p.enabled }
 
 // Observe returns the next-line prediction for a demand miss, or nothing
-// when turned off.
+// when turned off. It allocates the returned slice; hot paths use
+// AppendObserve instead.
 func (p *NextLinePrefetcher) Observe(block uint64) []uint64 {
+	return p.AppendObserve(nil, block)
+}
+
+// AppendObserve is Observe appending its prediction to dst, so a caller
+// reusing one scratch buffer observes without allocating.
+func (p *NextLinePrefetcher) AppendObserve(dst []uint64, block uint64) []uint64 {
 	if !p.enabled {
-		return nil
+		return dst
 	}
 	p.issued++
 	if p.issued%p.window == 0 {
@@ -98,7 +111,7 @@ func (p *NextLinePrefetcher) Observe(block uint64) []uint64 {
 		}
 		p.useful = 0
 	}
-	return []uint64{block + 1}
+	return append(dst, block+1)
 }
 
 // CreditUseful informs the prefetcher that one of its fills was demanded.

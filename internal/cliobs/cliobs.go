@@ -1,9 +1,10 @@
 // Package cliobs registers the shared observability flags every cmd/
-// binary exposes (-check, -metrics, -trace) and finalizes them after the
-// run: metrics and trace files are written where requested, and
-// conservation violations go to stderr with a non-zero exit code.
-// Violations never touch stdout, so the byte-identical-output contract
-// the experiment drivers maintain is unaffected by observability.
+// binary exposes (-check, -metrics, -trace, -cpuprofile, -memprofile)
+// and finalizes them after the run: metrics, trace, and profile files
+// are written where requested, and conservation violations go to stderr
+// with a non-zero exit code. Violations and profiles never touch stdout,
+// so the byte-identical-output contract the experiment drivers maintain
+// is unaffected by observability.
 package cliobs
 
 import (
@@ -11,15 +12,21 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/obs"
 )
 
 // Flags holds the parsed observability flags.
 type Flags struct {
-	Check   bool
-	Metrics string
-	Trace   string
+	Check      bool
+	Metrics    string
+	Trace      string
+	CPUProfile string
+	MemProfile string
+
+	cpuFile *os.File // open while CPU profiling; closed by Finish
 }
 
 // Register installs -check, -metrics, and -trace on the default flag
@@ -32,7 +39,34 @@ func Register() *Flags {
 		"write counters and histograms as sorted-key JSON to this file")
 	flag.StringVar(&f.Trace, "trace", "",
 		"write the flight-recorder event trace as JSON lines to this file")
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "",
+		"write a pprof CPU profile of the run to this file (see StartProfile)")
+	flag.StringVar(&f.MemProfile, "memprofile", "",
+		"write a pprof heap profile, taken after the run, to this file")
 	return f
+}
+
+// StartProfile begins CPU profiling when -cpuprofile was given. Call it
+// after flag.Parse and before the simulation starts; Finish stops the
+// profile and closes the file. It returns the process exit code: non-zero
+// when the profile could not be started (the run would silently lose its
+// profile otherwise).
+func (f *Flags) StartProfile(prog string) int {
+	if f.CPUProfile == "" {
+		return 0
+	}
+	out, err := os.Create(f.CPUProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		return 1
+	}
+	if err := pprof.StartCPUProfile(out); err != nil {
+		out.Close()
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+		return 1
+	}
+	f.cpuFile = out
+	return 0
 }
 
 // Registry returns a registry for the run when metrics or trace output
@@ -60,6 +94,19 @@ func (f *Flags) Finish(prog string, reg *obs.Registry, violations []obs.Violatio
 	}
 	if f.Trace != "" {
 		if err := writeFile(f.Trace, reg.WriteTraceJSONL); err != nil {
+			fail(err)
+		}
+	}
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil {
+			fail(err)
+		}
+		f.cpuFile = nil
+	}
+	if f.MemProfile != "" {
+		runtime.GC() // settle the heap so the profile shows live data, not garbage
+		if err := writeFile(f.MemProfile, pprof.WriteHeapProfile); err != nil {
 			fail(err)
 		}
 	}

@@ -35,6 +35,10 @@ type Memory interface {
 	SubmitWrite(addr uint64, at int64)
 	// WaitFor simulates until the request completes and returns the time.
 	WaitFor(r *memctrl.Request) int64
+	// Release hands a read handle back to its channel for recycling; the
+	// handle must not be touched afterwards. Call it after WaitFor, or
+	// immediately for fire-and-forget prefetches.
+	Release(r *memctrl.Request)
 }
 
 // Stats aggregates a core's execution accounting.
@@ -72,6 +76,7 @@ type Core struct {
 	mlp         int
 	outstanding []*memctrl.Request
 	nlIssued    map[uint64]bool // next-line predictions awaiting usefulness feedback
+	predBuf     []uint64        // prefetch-prediction scratch, reused every miss
 
 	t     int64 // core virtual time, ps
 	stats Stats
@@ -141,6 +146,7 @@ func (c *Core) Step(ev workload.Event) {
 func (c *Core) Finish() {
 	for _, r := range c.outstanding {
 		done := c.mem.WaitFor(r)
+		c.mem.Release(r)
 		c.stats.RetiredMemReads++
 		if done > c.t {
 			c.stats.MemStallPS += done - c.t
@@ -197,6 +203,7 @@ func (c *Core) read(addr uint64, stream int, dependent bool) {
 	c.fill(c.l1, addr, false)
 	if dependent {
 		done := c.mem.WaitFor(req)
+		c.mem.Release(req)
 		c.stats.RetiredMemReads++
 		c.stall(done - c.t + 0) // stall covers the full remaining latency
 		if done > c.t {
@@ -209,6 +216,7 @@ func (c *Core) read(addr uint64, stream int, dependent bool) {
 		oldest := c.outstanding[0]
 		c.outstanding = c.outstanding[1:]
 		done := c.mem.WaitFor(oldest)
+		c.mem.Release(oldest)
 		c.stats.RetiredMemReads++
 		if done > c.t {
 			c.stats.MemStallPS += done - c.t
@@ -256,6 +264,7 @@ func (c *Core) write(addr uint64, stream int) {
 		oldest := c.outstanding[0]
 		c.outstanding = c.outstanding[1:]
 		done := c.mem.WaitFor(oldest)
+		c.mem.Release(oldest)
 		c.stats.RetiredMemReads++
 		if done > c.t {
 			c.stats.MemStallPS += done - c.t
@@ -291,11 +300,12 @@ func (c *Core) fill(level *cache.Cache, addr uint64, write bool) {
 // auto turn-off) on an L1 demand miss, filling into L1.
 func (c *Core) prefetchL1(addr uint64, stream int) {
 	block := addr / 64
-	var preds []uint64
+	preds := c.predBuf[:0]
 	if stream != 0 {
-		preds = c.strideL1.Observe(stream, block)
+		preds = c.strideL1.AppendObserve(preds, stream, block)
 	}
-	preds = append(preds, c.nextL1.Observe(block)...)
+	preds = c.nextL1.AppendObserve(preds, block)
+	c.predBuf = preds
 	for _, pb := range preds {
 		pa := pb * 64
 		if c.l1.Lookup(pa) {
@@ -304,7 +314,9 @@ func (c *Core) prefetchL1(addr uint64, stream int) {
 		// Prefetch into L1; pull from lower levels silently (latency
 		// hidden, traffic charged when it reaches memory).
 		if !c.l2.Lookup(pa) && !c.l3.Lookup(pa) {
-			c.mem.SubmitRead(pa, c.t)
+			// Fire-and-forget: release the handle right away; the channel
+			// recycles it once the read retires.
+			c.mem.Release(c.mem.SubmitRead(pa, c.t))
 			c.stats.IssuedMemReads++
 			c.stats.Prefetches++
 			c.fill(c.l3, pa, false)
@@ -325,13 +337,14 @@ func (c *Core) prefetchL2(addr uint64, stream int) {
 		return
 	}
 	block := addr / 64
-	for _, pb := range c.strideL2.Observe(stream, block) {
+	c.predBuf = c.strideL2.AppendObserve(c.predBuf[:0], stream, block)
+	for _, pb := range c.predBuf {
 		pa := pb * 64
 		if c.l2.Lookup(pa) {
 			continue
 		}
 		if !c.l3.Lookup(pa) {
-			c.mem.SubmitRead(pa, c.t)
+			c.mem.Release(c.mem.SubmitRead(pa, c.t))
 			c.stats.IssuedMemReads++
 			c.stats.Prefetches++
 			c.fill(c.l3, pa, false)

@@ -21,6 +21,7 @@ func (s *singleChannel) SubmitRead(addr uint64, at int64) *memctrl.Request {
 }
 func (s *singleChannel) SubmitWrite(addr uint64, at int64) { s.ch.SubmitWrite(addr, at) }
 func (s *singleChannel) WaitFor(r *memctrl.Request) int64  { return s.ch.WaitFor(r) }
+func (s *singleChannel) Release(r *memctrl.Request)        { s.ch.Release(r) }
 
 func testCore(t *testing.T) (*Core, *memctrl.Channel) {
 	t.Helper()

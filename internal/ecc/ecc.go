@@ -63,10 +63,12 @@ func (c *Codec) Encode(addr uint64, data []byte) [ParityBytes]byte {
 	if len(data) != BlockSize {
 		panic(fmt.Sprintf("ecc: Encode with %d data bytes", len(data)))
 	}
-	buf := make([]byte, BlockSize+8+ParityBytes)
-	copy(buf, data)
+	// The codeword geometry is fixed, so the working buffer lives on the
+	// stack and encoding a block allocates nothing.
+	var buf [BlockSize + 8 + ParityBytes]byte
+	copy(buf[:], data)
 	binary.LittleEndian.PutUint64(buf[BlockSize:], addr)
-	c.inner.EncodeInto(buf)
+	c.inner.EncodeInto(buf[:])
 	var parity [ParityBytes]byte
 	copy(parity[:], buf[BlockSize+8:])
 	return parity
@@ -84,12 +86,17 @@ func (c *Codec) assemble(addr uint64, data []byte, parity [ParityBytes]byte) []b
 // DecodeDetectOnly checks a block read against its ECC without attempting
 // correction. It returns nil when the block is consistent with the address
 // it was requested from, and ErrDetected otherwise. data is never
-// modified. It panics if len(data) != BlockSize.
+// modified. The syndrome check runs directly over the (data, address,
+// parity) pieces — no assembled codeword, no allocation — because this is
+// the check every unsafely fast copy read pays (§III-B). It panics if
+// len(data) != BlockSize.
 func (c *Codec) DecodeDetectOnly(addr uint64, data []byte, parity [ParityBytes]byte) error {
 	if len(data) != BlockSize {
 		panic(fmt.Sprintf("ecc: DecodeDetectOnly with %d data bytes", len(data)))
 	}
-	if err := c.inner.Detect(c.assemble(addr, data, parity)); err != nil {
+	var abuf [8]byte
+	binary.LittleEndian.PutUint64(abuf[:], addr)
+	if err := c.inner.DetectParts(data, abuf[:], parity[:]); err != nil {
 		return ErrDetected
 	}
 	return nil

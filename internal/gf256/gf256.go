@@ -97,6 +97,22 @@ func Pow(a byte, n int) byte {
 	return expTable[(int(logTable[a])*n)%255]
 }
 
+// MulTable returns the multiplication row of b: row[a] == Mul(a, b) for
+// every a. Callers that multiply many values by the same constant (e.g.
+// Reed-Solomon syndrome checks evaluating at fixed powers of alpha)
+// precompute the row once and turn each product into one table lookup
+// with no log/exp indirection or zero-operand branches.
+func MulTable(b byte) (row [256]byte) {
+	if b == 0 {
+		return
+	}
+	lb := int(logTable[b])
+	for a := 1; a < 256; a++ {
+		row[a] = expTable[int(logTable[a])+lb]
+	}
+	return
+}
+
 // PolyEval evaluates the polynomial p (coefficients in ascending-degree
 // order: p[0] + p[1]x + ...) at x.
 func PolyEval(p []byte, x byte) byte {

@@ -1,0 +1,35 @@
+package heterodmr
+
+import (
+	"testing"
+
+	"repro/internal/margin"
+)
+
+// BenchmarkHeteroDMRReadMode measures the data-plane fast-read path: copy
+// lookup, fault injection (at a realistic low rate), and detection-only
+// ECC. Run with -benchmem; the clean-read steady state should not allocate.
+func BenchmarkHeteroDMRReadMode(b *testing.B) {
+	pop := margin.GeneratePopulation(1)
+	c := MustNew(Config{
+		Modules: pop.MajorBrands()[:2],
+		Bench:   margin.NewBench(23, 1),
+		Faults:  FaultModel{PerReadErrorProb: 1e-3},
+		Seed:    7,
+	})
+	const blocks = 1024
+	data := make([]byte, BlockSize)
+	for i := 0; i < blocks; i++ {
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		c.Write(uint64(i)*BlockSize, data)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Read(uint64(i%blocks) * BlockSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

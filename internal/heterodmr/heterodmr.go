@@ -91,18 +91,26 @@ type storedBlock struct {
 
 // Controller is one channel's Hetero-DMR state machine. Not safe for
 // concurrent use.
+//
+// Blocks are stored by value so steady-state writes and reads allocate
+// nothing: a store is a map assignment (no per-block heap object) and a
+// read lands in the controller's scratch buffer.
 type Controller struct {
 	cfg   Config
 	codec *ecc.Codec
 	epoch *ecc.EpochCounter
 	rng   *xrand.Rand
 
-	orig   map[uint64]*storedBlock // module with originals (always in spec)
-	copies map[uint64]*storedBlock // free-module copies (unsafely fast)
+	orig   map[uint64]storedBlock // module with originals (always in spec)
+	copies map[uint64]storedBlock // free-module copies (unsafely fast)
 
 	copyModule  int // index into cfg.Modules of the module holding copies
 	utilization float64
 	replicating bool
+
+	// readBuf is the block scratch every Read resolves into; the returned
+	// slice aliases it and is valid until the next Read on this controller.
+	readBuf [BlockSize]byte
 
 	stats Stats
 	rec   *obs.Recorder // epoch-budget events; nil-safe when unobserved
@@ -128,8 +136,8 @@ func New(cfg Config) (*Controller, error) {
 		codec:  ecc.NewCodec(),
 		epoch:  ecc.NewEpochCounter(ecc.EpochBudget(cfg.MTTSDCTargetYears)),
 		rng:    xrand.New(cfg.Seed),
-		orig:   make(map[uint64]*storedBlock),
-		copies: make(map[uint64]*storedBlock),
+		orig:   make(map[uint64]storedBlock),
+		copies: make(map[uint64]storedBlock),
 	}
 	c.copyModule = c.selectCopyModule()
 	c.SetUtilization(0)
@@ -189,14 +197,14 @@ func (c *Controller) SetUtilization(u float64) {
 	}
 	c.replicating = active
 	if !active {
-		c.copies = make(map[uint64]*storedBlock)
+		c.copies = make(map[uint64]storedBlock)
 		c.stats.ReplicationPauses++
 		return
 	}
 	// Replicate every block into the free module.
+	//lint:allow maporder map-to-map copy; iteration order cannot reach any output
 	for addr, b := range c.orig {
-		cp := *b
-		c.copies[addr] = &cp
+		c.copies[addr] = b
 	}
 }
 
@@ -208,13 +216,13 @@ func (c *Controller) Write(addr uint64, data []byte) {
 	if len(data) != BlockSize {
 		panic(fmt.Sprintf("heterodmr: write of %d bytes", len(data)))
 	}
-	b := &storedBlock{parity: c.codec.Encode(addr, data)}
+	var b storedBlock
+	b.parity = c.codec.Encode(addr, data)
 	copy(b.data[:], data)
 	c.orig[addr] = b
 	c.stats.Writes++
 	if c.replicating {
-		cp := *b
-		c.copies[addr] = &cp
+		c.copies[addr] = b
 		c.stats.BroadcastWrites++
 	}
 }
@@ -233,6 +241,9 @@ type ReadOutcome struct {
 // errors are repaired from the original (§III-C) and counted against the
 // epoch budget. Reads never return corrupted data unless the 2^-64
 // detection escape fires (never, in practice).
+//
+// The returned slice aliases the controller's scratch buffer and is only
+// valid until the next Read; callers that keep block contents copy them.
 func (c *Controller) Read(addr uint64) ([]byte, ReadOutcome, error) {
 	c.stats.Reads++
 	var out ReadOutcome
@@ -259,16 +270,17 @@ func (c *Controller) Read(addr uint64) ([]byte, ReadOutcome, error) {
 	out.FastPath = true
 	c.stats.FastReads++
 
-	// Model the unsafe read: possibly corrupted data/parity/address.
-	data := cp.data
+	// Model the unsafe read: possibly corrupted data/parity/address. The
+	// data lands in the scratch buffer, so a clean read allocates nothing.
+	c.readBuf = cp.data
 	parity := cp.parity
 	if c.rng.Bool(c.cfg.Faults.PerReadErrorProb) {
-		wide := c.injectFault(addr, &data, &parity)
+		wide := c.injectFault(addr, &c.readBuf, &parity)
 		out.WideError = wide
 	}
-	if c.codec.DecodeDetectOnly(addr, data[:], parity) == nil {
+	if c.codec.DecodeDetectOnly(addr, c.readBuf[:], parity) == nil {
 		c.stats.DetectPasses++
-		return data[:], out, nil
+		return c.readBuf[:], out, nil
 	}
 	// Detected: repair from the original (§III-C) — slow the channel,
 	// read the original reliably, overwrite the copy, speed back up.
@@ -286,7 +298,8 @@ func (c *Controller) Read(addr uint64) ([]byte, ReadOutcome, error) {
 		return nil, out, err
 	}
 	out.Natural = natural
-	fixed := &storedBlock{parity: c.codec.Encode(addr, good)}
+	var fixed storedBlock
+	fixed.parity = c.codec.Encode(addr, good)
 	copy(fixed.data[:], good)
 	c.copies[addr] = fixed
 	out.Corrected = true
@@ -295,34 +308,36 @@ func (c *Controller) Read(addr uint64) ([]byte, ReadOutcome, error) {
 }
 
 // readOriginal reads the always-in-spec original with conventional ECC
-// correction for natural errors.
+// correction for natural errors. The returned slice aliases the
+// controller's scratch buffer, like Read's.
 func (c *Controller) readOriginal(addr uint64) (data []byte, natural bool, err error) {
 	b, ok := c.orig[addr]
 	if !ok {
 		return nil, false, ErrNotWritten
 	}
-	d := b.data
+	c.readBuf = b.data
 	p := b.parity
 	if c.rng.Bool(c.cfg.Faults.OriginalErrorProb) {
 		// Natural in-spec error: 1-4 corrupted bytes, within the
 		// conventional correction capability.
 		n := 1 + c.rng.Intn(4)
 		for _, pos := range c.rng.Perm(BlockSize)[:n] {
-			d[pos] ^= byte(1 + c.rng.Intn(255))
+			c.readBuf[pos] ^= byte(1 + c.rng.Intn(255))
 		}
 		natural = true
 	}
-	if _, err := c.codec.DecodeCorrect(addr, d[:], p); err != nil {
+	if _, err := c.codec.DecodeCorrect(addr, c.readBuf[:], p); err != nil {
 		return nil, natural, fmt.Errorf("heterodmr: uncorrectable error in original block %#x: %w", addr, err)
 	}
 	if natural {
 		c.stats.NaturalCorrected++
 		// Scrub the corrected value back.
-		fixed := &storedBlock{parity: c.codec.Encode(addr, d[:])}
-		fixed.data = d
+		var fixed storedBlock
+		fixed.parity = c.codec.Encode(addr, c.readBuf[:])
+		fixed.data = c.readBuf
 		c.orig[addr] = fixed
 	}
-	return d[:], natural, nil
+	return c.readBuf[:], natural, nil
 }
 
 // injectFault corrupts a copy read per the fault model and reports
@@ -420,10 +435,10 @@ func (c *Controller) RemapAfterPermanentFault() {
 	c.copyModule = (c.copyModule + 1) % len(c.cfg.Modules)
 	if c.replicating {
 		// Re-replicate into the new copy module.
-		c.copies = make(map[uint64]*storedBlock)
+		c.copies = make(map[uint64]storedBlock)
+		//lint:allow maporder map-to-map copy; iteration order cannot reach any output
 		for addr, b := range c.orig {
-			cp := *b
-			c.copies[addr] = &cp
+			c.copies[addr] = b
 		}
 	}
 }

@@ -221,16 +221,17 @@ func TestShadowComputation(t *testing.T) {
 		&running{endS: 10, job: &Job{Nodes: 2}},
 		&running{endS: 20, job: &Job{Nodes: 2}},
 	}
-	shadowT, extra := shadow(run, 1, 4)
+	var sbuf []*running
+	shadowT, extra := shadow(run, &sbuf, 1, 4)
 	if shadowT != 20 || extra != 1 {
 		t.Errorf("shadow = (%v, %v), want (20, 1)", shadowT, extra)
 	}
 	// Already fits: shadow is immediate.
-	if st, _ := shadow(run, 4, 4); st != 0 {
+	if st, _ := shadow(run, &sbuf, 4, 4); st != 0 {
 		t.Errorf("shadow with enough free = %v, want 0", st)
 	}
 	// Can never fit: far future.
-	if st, _ := shadow(run, 0, 100); st < 1e17 {
+	if st, _ := shadow(run, &sbuf, 0, 100); st < 1e17 {
 		t.Errorf("unsatisfiable shadow = %v", st)
 	}
 }

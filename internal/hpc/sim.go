@@ -155,6 +155,7 @@ func SimulateObserved(tr *Trace, cluster *Cluster, policy Policy, model SpeedupM
 
 	var run runHeap
 	heap.Init(&run)
+	var shadowBuf []*running // reused by every backfill shadow computation
 	res := &Result{}
 	queue := []*Job{} // FCFS
 	next := 0         // next arrival index
@@ -186,7 +187,7 @@ func SimulateObserved(tr *Trace, cluster *Cluster, policy Policy, model SpeedupM
 		// EASY backfill: reserve for the head, let later jobs jump ahead
 		// if they do not delay it (runtimes are known exactly here).
 		head := queue[0]
-		shadowT, freedAtShadow := shadow(run, freeTotal, head.Nodes)
+		shadowT, freedAtShadow := shadow(run, &shadowBuf, freeTotal, head.Nodes)
 		extra := freeTotal + freedAtShadow - head.Nodes
 		for i := 1; i < len(queue) && freeTotal > 0; i++ {
 			j := queue[i]
@@ -263,13 +264,16 @@ func SimulateObserved(tr *Trace, cluster *Cluster, policy Policy, model SpeedupM
 
 // shadow computes when the queue head could start (jobs finish in end
 // order until enough nodes are free) and how many nodes will be free then
-// beyond the head's need.
-func shadow(run runHeap, freeNow, need int) (shadowT float64, freedAtShadow int) {
+// beyond the head's need. buf is caller-owned scratch reused across
+// calls; shadow runs once per scheduling event, so copying and sorting
+// the running set into a fresh slice each time dominated the scheduler's
+// allocations.
+func shadow(run runHeap, buf *[]*running, freeNow, need int) (shadowT float64, freedAtShadow int) {
 	if freeNow >= need {
 		return 0, 0
 	}
-	ends := make([]*running, len(run))
-	copy(ends, run)
+	ends := append((*buf)[:0], run...)
+	*buf = ends
 	sort.Slice(ends, func(i, j int) bool { return ends[i].endS < ends[j].endS })
 	acc := freeNow
 	for _, r := range ends {

@@ -35,14 +35,17 @@ the output depend on it. Iterate a sorted key slice instead.`,
 // mapOrderPkgs is the comma-separated list of package names the analyzer
 // applies to. The default covers the packages whose output is rendered or
 // checksummed (report, experiments, montecarlo, obs — metrics/trace
-// exports must be byte-stable) plus the analyzer's own fixture package so
-// `cmd/analyze ./internal/lint/testdata/src/maporder` exercises it
+// exports must be byte-stable), the hot-path packages whose pooled
+// scratch state feeds the byte-identical simulation outputs (memctrl,
+// node, cache, heterodmr — e.g. the controller's pending-write block
+// index must never be iterated), plus the analyzer's own fixture package
+// so `cmd/analyze ./internal/lint/testdata/src/maporder` exercises it
 // without extra flags.
 var mapOrderPkgs string
 
 func init() {
 	MapOrder.Flags.StringVar(&mapOrderPkgs, "pkgs",
-		"report,experiments,montecarlo,obs,maporder",
+		"report,experiments,montecarlo,obs,memctrl,node,cache,heterodmr,maporder",
 		"comma-separated package names the map-iteration check applies to")
 }
 

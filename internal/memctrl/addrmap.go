@@ -36,45 +36,58 @@ func (c *Channel) decode(addr uint64) (rank, bank int, row int64) {
 }
 
 // copyRanksOf returns the rank indices holding copies of the block whose
-// original lives in origRank. Empty for the baseline.
+// original lives in origRank. Empty for the baseline. It allocates; the
+// hot path uses appendCopyRanks into per-channel scratch instead.
 func (c *Channel) copyRanksOf(origRank int) []int {
+	if !c.cfg.Replication.Replicated() {
+		return nil
+	}
+	return c.appendCopyRanks(make([]int, 0, 2), origRank)
+}
+
+// appendCopyRanks appends the copy ranks of origRank to dst.
+func (c *Channel) appendCopyRanks(dst []int, origRank int) []int {
 	half := c.cfg.Ranks / 2
 	switch c.cfg.Replication {
 	case ReplicationFMR, ReplicationHeteroDMR:
-		return []int{origRank + half}
+		return append(dst, origRank+half)
 	case ReplicationHeteroDMRFMR:
-		return []int{half, half + 1}
+		return append(dst, half, half+1)
 	default:
-		return nil
+		return dst
 	}
 }
 
-// readCandidateRanks returns the ranks a read may be served from.
+// readCandidateRanks returns the ranks a read may be served from. The
+// slice aliases per-channel scratch (candBuf) and is valid until the next
+// call — pickRead consumes each list before requesting the next.
 func (c *Channel) readCandidateRanks(origRank int) []int {
+	buf := c.candBuf[:0]
 	switch c.cfg.Replication {
 	case ReplicationNone:
-		return []int{origRank}
+		return append(buf, origRank)
 	case ReplicationFMR:
 		// FMR reads whichever replica is in the faster state.
-		return append([]int{origRank}, c.copyRanksOf(origRank)...)
+		return c.appendCopyRanks(append(buf, origRank), origRank)
 	case ReplicationHeteroDMR, ReplicationHeteroDMRFMR:
 		if c.fastMode {
 			// Fast read mode must not touch originals (they are in
 			// self-refresh); only copies are candidates.
-			return c.copyRanksOf(origRank)
+			return c.appendCopyRanks(buf, origRank)
 		}
 		// Slow phase: everything runs at specification with the originals
 		// awake, so reads pick the best replica like FMR.
-		return append([]int{origRank}, c.copyRanksOf(origRank)...)
+		return c.appendCopyRanks(append(buf, origRank), origRank)
 	default:
 		return nil
 	}
 }
 
 // writeTargetRanks returns every rank a write must update; broadcast
-// writes hit all of them in one bus transaction.
+// writes hit all of them in one bus transaction. The slice aliases
+// per-channel scratch (targBuf) and is valid until the next call.
 func (c *Channel) writeTargetRanks(origRank int) []int {
-	return append([]int{origRank}, c.copyRanksOf(origRank)...)
+	return c.appendCopyRanks(append(c.targBuf[:0], origRank), origRank)
 }
 
 // globalBank flattens (rank, bank) for per-bank bookkeeping.

@@ -1,0 +1,29 @@
+package memctrl
+
+import "testing"
+
+// BenchmarkChannelReadStream drives the controller's hot loop: a stream of
+// reads through a Hetero-DMR channel with enough writebacks mixed in to
+// exercise the writeback cache, mode switching, and both frequency
+// transitions. Run with -benchmem; the steady state should not allocate.
+func BenchmarkChannelReadStream(b *testing.B) {
+	c := hdmrChannel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	addr := uint64(0)
+	for i := 0; i < b.N; i++ {
+		req := c.SubmitRead(addr, c.Now())
+		c.WaitFor(req)
+		c.Release(req)
+		if i%4 == 3 {
+			c.SubmitWrite(addr^0x40000, c.Now())
+		}
+		// Mix strides so the stream produces row hits, misses, and bank
+		// conflicts rather than a single open-row sweep.
+		if i%7 == 0 {
+			addr += 8 << 10
+		} else {
+			addr += 64
+		}
+	}
+}

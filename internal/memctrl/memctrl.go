@@ -181,6 +181,13 @@ func (c *Config) validate() error {
 }
 
 // Request is one memory access in flight through the controller.
+//
+// Requests are pooled: the channel recycles them through a freelist once
+// they are both complete and released (see Release), so a steady-state
+// read stream performs no allocation. Callers that never call Release
+// simply opt out of recycling for the handles they hold — the request is
+// then garbage-collected like any other object and can never be reused
+// while reachable.
 type Request struct {
 	Addr    uint64
 	IsWrite bool
@@ -189,6 +196,9 @@ type Request struct {
 
 	rank, bank int
 	row        int64
+
+	released bool   // caller gave the handle back; recycle at completion
+	gen      uint32 // bumped on every recycle (use-after-release detection in tests)
 }
 
 // Stats aggregates what the evaluation figures need.
@@ -221,9 +231,21 @@ type Channel struct {
 	busFreeAt     int64
 	lastFastStart int64
 
-	readQ  []*Request
-	writeQ []*Request
+	readQ  reqRing
+	writeQ reqRing
 	wb     *wbCache
+
+	// wqBlocks counts queued writes per block, mirroring writeQ's live
+	// contents, so the read path's pending-write check is one map lookup
+	// instead of a queue scan (SubmitRead runs it on every read).
+	wqBlocks map[uint64]uint32
+
+	// freeReqs is the request freelist: completed-and-released requests
+	// are zeroed and reused by the next Submit, so the steady-state loop
+	// allocates nothing. noPool disables recycling (test hook for the
+	// pooled-vs-unpooled equivalence check).
+	freeReqs []*Request
+	noPool   bool
 
 	writeMode      bool
 	writeModeStart int64
@@ -231,15 +253,28 @@ type Channel struct {
 	// copies at the unsafely fast operating point; false during the slow
 	// phase bracketed by the two frequency switches (§III-A1), in which
 	// the channel behaves like a conventional controller at spec.
-	fastMode   bool
-	batchLeft  int
-	hitsInARow map[int]int // bank-fairness: consecutive row hits per global bank
+	fastMode  bool
+	batchLeft int
+	// Bank fairness: consecutive row hits on the streak bank. The old
+	// hitsInARow map only ever held the last-served bank's streak (every
+	// other key was deleted on each serve), so two ints carry the same
+	// state without map traffic.
+	streakBank int // global bank of the live streak; -1 when none
+	streakLen  int
 
 	colBits, bankBits, rankBits int
 
 	// lastUse tracks per-(rank,bank) last column command for the hybrid
 	// page policy's timeout.
 	lastUse []int64
+
+	// Scratch buffers for the per-pick rank lists (see addrmap.go) and
+	// the per-transition rank sets; the returned slices alias these and
+	// are valid until the next call.
+	candBuf [3]int
+	targBuf [3]int
+	origBuf []int
+	copyBuf []*dram.Rank
 
 	stats Stats
 	consv consvCounters
@@ -265,10 +300,15 @@ func NewChannel(cfg Config) (*Channel, error) {
 	c := &Channel{
 		cfg:        cfg,
 		rng:        xrand.New(cfg.Seed),
-		hitsInARow: make(map[int]int),
+		readQ:      newReqRing(cfg.ReadQueueCap),
+		writeQ:     newReqRing(cfg.WriteQueueCap),
+		streakBank: -1,
 		colBits:    bits.TrailingZeros64(uint64(cfg.RowBytes / cfg.BlockBytes)),
 		bankBits:   bits.TrailingZeros64(uint64(cfg.BanksPerRank)),
 		rankBits:   bits.TrailingZeros64(uint64(cfg.Ranks)),
+		origBuf:    make([]int, 0, cfg.Ranks),
+		copyBuf:    make([]*dram.Rank, 0, cfg.Ranks),
+		wqBlocks:   make(map[uint64]uint32, cfg.WriteQueueCap),
 	}
 	for i := 0; i < cfg.Ranks; i++ {
 		r := dram.NewRank(cfg.BanksPerRank, cfg.Spec.Timing, cfg.Spec.Rate.ClockPS())

@@ -121,8 +121,8 @@ func (c *Channel) CheckConservation(source string) []obs.Violation {
 	v := c.consv
 
 	// A quiesced channel holds no work.
-	ck.Check(len(c.readQ) == 0, "read-queue-empty", "%d reads still queued", len(c.readQ))
-	ck.Check(len(c.writeQ) == 0, "write-queue-empty", "%d writes still queued", len(c.writeQ))
+	ck.Check(c.readQ.len() == 0, "read-queue-empty", "%d reads still queued", c.readQ.len())
+	ck.Check(c.writeQ.len() == 0, "write-queue-empty", "%d writes still queued", c.writeQ.len())
 	parked := 0
 	if c.wb != nil {
 		parked = c.wb.len()

@@ -1,0 +1,101 @@
+package memctrl
+
+// reqRing is the FIFO request queue backing the read and write queues.
+// FR-FCFS pick order is submission order, so the scheduler must see
+// requests oldest-first; the old []*Request queues preserved that with an
+// O(n) copy on every removal (append(q[:i], q[i+1:]...)). The ring keeps
+// the same iteration order but removes in O(1) by tombstoning the slot
+// (nil) and letting head/tail skip over the holes. Holes are squeezed out
+// in place when the span fills the buffer, so the ring reaches a fixed
+// size and never allocates again (Ramulator-style steady state).
+//
+// head and tail are absolute, monotonically increasing positions; slot i
+// lives at buf[i&(len(buf)-1)] and len(buf) is a power of two. Iterate
+// with:
+//
+//	for i := q.head; i != q.tail; i++ {
+//		r := q.at(i)
+//		if r == nil {
+//			continue // tombstone
+//		}
+//		...
+//	}
+type reqRing struct {
+	buf  []*Request
+	head int // first slot that may hold a request
+	tail int // one past the last occupied slot
+	n    int // live (non-tombstoned) entries
+}
+
+func newReqRing(capHint int) reqRing {
+	size := 8
+	for size < capHint {
+		size <<= 1
+	}
+	return reqRing{buf: make([]*Request, size)}
+}
+
+func (q *reqRing) len() int  { return q.n }
+func (q *reqRing) mask() int { return len(q.buf) - 1 }
+
+func (q *reqRing) at(i int) *Request { return q.buf[i&q.mask()] }
+
+// push appends r at the FIFO tail.
+func (q *reqRing) push(r *Request) {
+	if q.tail-q.head == len(q.buf) {
+		if q.n == len(q.buf) {
+			q.grow()
+		} else {
+			q.compact()
+		}
+	}
+	q.buf[q.tail&q.mask()] = r
+	q.tail++
+	q.n++
+}
+
+// remove tombstones the slot at absolute position i, which must hold a
+// request. Order of the remaining entries is untouched.
+func (q *reqRing) remove(i int) {
+	q.buf[i&q.mask()] = nil
+	q.n--
+	for q.head != q.tail && q.buf[q.head&q.mask()] == nil {
+		q.head++
+	}
+	for q.tail != q.head && q.buf[(q.tail-1)&q.mask()] == nil {
+		q.tail--
+	}
+}
+
+// compact squeezes tombstones out in place, preserving FIFO order. The
+// write cursor w never passes the read cursor i, so slots are only
+// overwritten after they have been read.
+func (q *reqRing) compact() {
+	w := q.head
+	for i := q.head; i != q.tail; i++ {
+		if r := q.buf[i&q.mask()]; r != nil {
+			q.buf[w&q.mask()] = r
+			w++
+		}
+	}
+	for i := w; i != q.tail; i++ {
+		q.buf[i&q.mask()] = nil
+	}
+	q.tail = w
+}
+
+// grow doubles the buffer; only reached if live occupancy exceeds the
+// initial capacity hint.
+func (q *reqRing) grow() {
+	nb := make([]*Request, len(q.buf)*2)
+	w := 0
+	for i := q.head; i != q.tail; i++ {
+		if r := q.buf[i&q.mask()]; r != nil {
+			nb[w] = r
+			w++
+		}
+	}
+	q.buf = nb
+	q.head = 0
+	q.tail = w
+}

@@ -33,8 +33,7 @@ func (c *Channel) correctionPenalty() int64 {
 // times must be non-decreasing across Submit calls.
 func (c *Channel) SubmitRead(addr uint64, at int64) *Request {
 	c.consv.readsSubmitted++
-	req := &Request{Addr: addr, Arrive: at}
-	req.rank, req.bank, req.row = c.decode(addr)
+	req := c.newRequest(addr, false, at)
 	block := addr / uint64(c.cfg.BlockBytes)
 	// Forward from the write path: the youngest version of the block is
 	// in the write buffer or the writeback cache.
@@ -49,13 +48,58 @@ func (c *Channel) SubmitRead(addr uint64, at int64) *Request {
 		c.stats.ReadCount++
 		return req
 	}
-	for len(c.readQ) >= c.cfg.ReadQueueCap {
+	for c.readQ.len() >= c.cfg.ReadQueueCap {
 		if !c.step() {
 			panic("memctrl: read queue full but nothing schedulable")
 		}
 	}
-	c.readQ = append(c.readQ, req)
+	c.readQ.push(req)
 	return req
+}
+
+// newRequest takes a request from the freelist (or allocates the pool's
+// next one) and initializes it for addr.
+func (c *Channel) newRequest(addr uint64, isWrite bool, at int64) *Request {
+	var req *Request
+	if n := len(c.freeReqs); n > 0 {
+		req = c.freeReqs[n-1]
+		c.freeReqs[n-1] = nil
+		c.freeReqs = c.freeReqs[:n-1]
+		*req = Request{gen: req.gen}
+	} else {
+		req = &Request{}
+	}
+	req.Addr = addr
+	req.IsWrite = isWrite
+	req.Arrive = at
+	req.rank, req.bank, req.row = c.decode(addr)
+	return req
+}
+
+// recycle returns a request nothing can reach anymore to the freelist.
+func (c *Channel) recycle(req *Request) {
+	if c.noPool {
+		return
+	}
+	req.gen++
+	c.freeReqs = append(c.freeReqs, req)
+}
+
+// Release hands a read request handle back to the channel for recycling.
+// Call it once the caller is done with the handle — after WaitFor, or
+// immediately for a fire-and-forget prefetch; the controller recycles the
+// request as soon as it is also complete. The handle must not be touched
+// after Release. Releasing is optional: callers that keep handles (tests,
+// external pollers) simply leave those requests to the garbage collector.
+func (c *Channel) Release(req *Request) {
+	if req == nil {
+		return
+	}
+	if req.Done != 0 {
+		c.recycle(req)
+		return
+	}
+	req.released = true
 }
 
 // SubmitWrite enqueues a writeback of block addr arriving at time `at`.
@@ -74,14 +118,20 @@ func (c *Channel) SubmitWrite(addr uint64, at int64) {
 		}
 		// wbRejected: fall through to the write buffer.
 	}
-	for len(c.writeQ) >= c.cfg.WriteQueueCap && !c.writeMode {
+	for c.writeQ.len() >= c.cfg.WriteQueueCap && !c.writeMode {
 		if !c.step() {
 			panic("memctrl: write queue full but nothing schedulable")
 		}
 	}
-	req := &Request{Addr: addr, IsWrite: true, Arrive: at}
-	req.rank, req.bank, req.row = c.decode(addr)
-	c.writeQ = append(c.writeQ, req)
+	c.pushWrite(c.newRequest(addr, true, at))
+}
+
+// pushWrite enqueues a write and indexes its block in wqBlocks so the
+// read path's forwarding check stays O(1). All writeQ pushes go through
+// here; serveWrite un-indexes on retire.
+func (c *Channel) pushWrite(req *Request) {
+	c.writeQ.push(req)
+	c.wqBlocks[req.Addr/uint64(c.cfg.BlockBytes)]++
 }
 
 // pendingWrite reports whether a block has an outstanding write.
@@ -89,12 +139,7 @@ func (c *Channel) pendingWrite(block uint64) bool {
 	if c.wb != nil && c.wb.contains(block) {
 		return true
 	}
-	for _, w := range c.writeQ {
-		if w.Addr/uint64(c.cfg.BlockBytes) == block {
-			return true
-		}
-	}
-	return false
+	return c.wqBlocks[block] > 0
 }
 
 // WaitFor simulates until req completes and returns its completion time.
@@ -113,7 +158,7 @@ func (c *Channel) Drain() int64 {
 	for {
 		for c.step() {
 		}
-		pending := len(c.writeQ) > 0 || (c.wb != nil && c.wb.len() > 0)
+		pending := c.writeQ.len() > 0 || (c.wb != nil && c.wb.len() > 0)
 		if c.writeMode {
 			return c.now
 		}
@@ -146,8 +191,8 @@ func (c *Channel) step() bool {
 		// design, because Hetero-DMR's slow phase already runs everything
 		// at specification with the originals awake (the expensive
 		// frequency switches bracket the whole phase, not each spurt).
-		readsPreempt := len(c.readQ) > 0 && len(c.writeQ) <= c.cfg.WriteQueueCap*3/4
-		if len(c.writeQ) == 0 || readsPreempt ||
+		readsPreempt := c.readQ.len() > 0 && c.writeQ.len() <= c.cfg.WriteQueueCap*3/4
+		if c.writeQ.len() == 0 || readsPreempt ||
 			(!c.cfg.Replication.Fast() && c.batchLeft <= 0) {
 			c.enterReadMode()
 			return true
@@ -160,7 +205,7 @@ func (c *Channel) step() bool {
 	// once the §III-A1 batch has drained (or nothing is pending), which
 	// amortizes the two frequency switches over WriteBatch writes.
 	if c.cfg.Replication.Fast() && !c.fastMode {
-		pending := len(c.writeQ) > 0 || (c.wb != nil && c.wb.len() > 0)
+		pending := c.writeQ.len() > 0 || (c.wb != nil && c.wb.len() > 0)
 		if c.batchLeft <= 0 || !pending {
 			c.transitionToFast()
 			return true
@@ -171,9 +216,9 @@ func (c *Channel) step() bool {
 	// full — or, when the channel is already at specification, whenever
 	// there is nothing better to do. A fast-mode Hetero-DMR channel first
 	// pays the frequency switch down to spec (transitionToSlow).
-	writePressure := len(c.writeQ) >= c.cfg.WriteQueueCap*7/8
+	writePressure := c.writeQ.len() >= c.cfg.WriteQueueCap*7/8
 	atSpec := !c.cfg.Replication.Fast() || !c.fastMode
-	idleDrain := atSpec && len(c.readQ) == 0 && len(c.writeQ) >= c.cfg.WriteQueueCap/4
+	idleDrain := atSpec && c.readQ.len() == 0 && c.writeQ.len() >= c.cfg.WriteQueueCap/4
 	if writePressure || idleDrain {
 		if c.cfg.Replication.Fast() && c.fastMode {
 			c.transitionToSlow()
@@ -181,7 +226,7 @@ func (c *Channel) step() bool {
 		c.enterWriteMode()
 		return true
 	}
-	if len(c.readQ) == 0 {
+	if c.readQ.len() == 0 {
 		return false
 	}
 	c.serveRead()
@@ -232,14 +277,14 @@ func (c *Channel) lazyClose() {
 }
 
 // pickRead chooses the next read per FR-FCFS with bank fairness and
-// returns its queue index plus the chosen serving rank.
-func (c *Channel) pickRead() (idx, serveRank int) {
+// returns its ring position plus the chosen serving rank.
+func (c *Channel) pickRead() (pos, serveRank int) {
 	// First pass: oldest arrived row-hit whose bank's hit streak is not
 	// exhausted.
-	bestIdx := -1
 	bestRank := -1
-	for i, req := range c.readQ {
-		if req.Arrive > c.now {
+	for i := c.readQ.head; i != c.readQ.tail; i++ {
+		req := c.readQ.at(i)
+		if req == nil || req.Arrive > c.now {
 			continue
 		}
 		for _, cand := range c.readCandidateRanks(req.rank) {
@@ -247,23 +292,16 @@ func (c *Channel) pickRead() (idx, serveRank int) {
 			if r.InSelfRefresh() {
 				continue
 			}
-			if r.Bank(req.bank).OpenRow() == req.row &&
-				c.hitsInARow[c.globalBank(cand, req.bank)] < hitStreakCap {
-				bestIdx, bestRank = i, cand
-				break
+			if r.Bank(req.bank).OpenRow() == req.row && c.streak(c.globalBank(cand, req.bank)) < hitStreakCap {
+				return i, cand
 			}
 		}
-		if bestIdx >= 0 {
-			break
-		}
-	}
-	if bestIdx >= 0 {
-		return bestIdx, bestRank
 	}
 	// Second pass: oldest arrived request; choose the candidate rank that
 	// projects to the earliest column issue (FMR's replica selection).
-	for i, req := range c.readQ {
-		if req.Arrive > c.now {
+	for i := c.readQ.head; i != c.readQ.tail; i++ {
+		req := c.readQ.at(i)
+		if req == nil || req.Arrive > c.now {
 			continue
 		}
 		var best int64
@@ -283,6 +321,14 @@ func (c *Channel) pickRead() (idx, serveRank int) {
 		return i, bestRank
 	}
 	return -1, -1
+}
+
+// streak returns the live row-hit streak of a global bank.
+func (c *Channel) streak(gb int) int {
+	if gb == c.streakBank {
+		return c.streakLen
+	}
+	return 0
 }
 
 // openRowFor brings (rank, bank) to the requested row, issuing PRE/ACT as
@@ -325,20 +371,21 @@ func (c *Channel) countOutcome(k rowOutcome) {
 
 // serveRead services one read request end to end.
 func (c *Channel) serveRead() {
-	idx, serveRank := c.pickRead()
-	if idx < 0 {
+	pos, serveRank := c.pickRead()
+	if pos < 0 {
 		// Nothing has arrived yet; advance to the earliest arrival.
 		earliest := int64(-1)
-		for _, req := range c.readQ {
-			if earliest < 0 || req.Arrive < earliest {
+		for i := c.readQ.head; i != c.readQ.tail; i++ {
+			req := c.readQ.at(i)
+			if req != nil && (earliest < 0 || req.Arrive < earliest) {
 				earliest = req.Arrive
 			}
 		}
 		c.now = earliest
 		return
 	}
-	req := c.readQ[idx]
-	c.readQHist.Observe(int64(len(c.readQ)))
+	req := c.readQ.at(pos)
+	c.readQHist.Observe(int64(c.readQ.len()))
 	rank := c.ranks[serveRank]
 	colReady, outcome := c.openRowFor(rank, req.bank, req.row)
 	c.countOutcome(outcome)
@@ -355,15 +402,10 @@ func (c *Channel) serveRead() {
 
 	gb := c.globalBank(serveRank, req.bank)
 	c.lastUse[gb] = colAt
-	if outcome == rowHit {
-		c.hitsInARow[gb]++
+	if outcome == rowHit && gb == c.streakBank {
+		c.streakLen++
 	} else {
-		c.hitsInARow[gb] = 1
-	}
-	for k := range c.hitsInARow {
-		if k != gb {
-			delete(c.hitsInARow, k)
-		}
+		c.streakBank, c.streakLen = gb, 1
 	}
 
 	done := end + ControllerOverhead
@@ -388,7 +430,10 @@ func (c *Channel) serveRead() {
 	c.stats.ReadLatencySumPS += done - req.Arrive
 	c.stats.ReadCount++
 	c.advance(colAt)
-	c.readQ = append(c.readQ[:idx], c.readQ[idx+1:]...)
+	c.readQ.remove(pos)
+	if req.released {
+		c.recycle(req)
+	}
 }
 
 // advance moves the controller clock toward the just-issued column time
@@ -413,29 +458,36 @@ func (c *Channel) serveWrite() {
 	// hit; otherwise pick the write whose bank can accept a column
 	// soonest, which interleaves activates across banks instead of
 	// serializing row cycles on one bank (tFAW relief).
-	idx := -1
-	for i, w := range c.writeQ {
+	pos := -1
+	for i := c.writeQ.head; i != c.writeQ.tail; i++ {
+		w := c.writeQ.at(i)
+		if w == nil {
+			continue
+		}
 		r := c.ranks[w.rank]
 		if !r.InSelfRefresh() && r.Bank(w.bank).OpenRow() == w.row {
-			idx = i
+			pos = i
 			break
 		}
 	}
-	if idx < 0 {
-		const scanCap = 64 // bound the projection scan
+	if pos < 0 {
+		const scanCap = 64 // bound the projection scan (oldest live entries)
 		var best int64
-		for i, w := range c.writeQ {
-			if i >= scanCap {
-				break
+		scanned := 0
+		for i := c.writeQ.head; i != c.writeQ.tail && scanned < scanCap; i++ {
+			w := c.writeQ.at(i)
+			if w == nil {
+				continue
 			}
+			scanned++
 			proj := c.ranks[w.rank].ProjectRead(w.bank, w.row, c.now)
-			if idx < 0 || proj < best {
-				best, idx = proj, i
+			if pos < 0 || proj < best {
+				best, pos = proj, i
 			}
 		}
 	}
-	req := c.writeQ[idx]
-	c.writeQHist.Observe(int64(len(c.writeQ)))
+	req := c.writeQ.at(pos)
+	c.writeQHist.Observe(int64(c.writeQ.len()))
 	targets := c.writeTargetRanks(req.rank)
 	// Bring the target row up in every participating rank; the broadcast
 	// column command issues when all of them are ready.
@@ -469,7 +521,16 @@ func (c *Channel) serveWrite() {
 	}
 	req.Done = end + ControllerOverhead
 	c.advance(colAt)
-	c.writeQ = append(c.writeQ[:idx], c.writeQ[idx+1:]...)
+	c.writeQ.remove(pos)
+	block := req.Addr / uint64(c.cfg.BlockBytes)
+	if n := c.wqBlocks[block]; n <= 1 {
+		delete(c.wqBlocks, block)
+	} else {
+		c.wqBlocks[block] = n - 1
+	}
+	// Writes are posted — no caller ever holds the handle — so the
+	// request recycles as soon as it retires.
+	c.recycle(req)
 	c.batchLeft--
 }
 
@@ -501,19 +562,14 @@ func (c *Channel) enterWriteMode() {
 		drained := c.wb.drain()
 		c.consv.wbDrained += uint64(len(drained))
 		for _, block := range drained {
-			addr := block * uint64(c.cfg.BlockBytes)
-			req := &Request{Addr: addr, IsWrite: true, Arrive: c.now}
-			req.rank, req.bank, req.row = c.decode(addr)
-			c.writeQ = append(c.writeQ, req)
+			c.pushWrite(c.newRequest(block*uint64(c.cfg.BlockBytes), true, c.now))
 		}
 	}
-	budget := c.batchLeft - len(c.writeQ)
+	budget := c.batchLeft - c.writeQ.len()
 	if c.cfg.CleanSource != nil && budget > 0 {
 		cleaned := c.cfg.CleanSource.CleanDirty(budget)
 		for _, addr := range cleaned {
-			req := &Request{Addr: addr, IsWrite: true, Arrive: c.now}
-			req.rank, req.bank, req.row = c.decode(addr)
-			c.writeQ = append(c.writeQ, req)
+			c.pushWrite(c.newRequest(addr, true, c.now))
 		}
 		c.stats.CleanedBlocks += uint64(len(cleaned))
 	}
@@ -598,31 +654,28 @@ func (c *Channel) transitionToFast() {
 	c.lastFastStart = ready
 }
 
-// origRanks returns the indices of ranks holding original blocks.
+// origRanks returns the indices of ranks holding original blocks. The
+// slice aliases per-channel scratch valid until the next call.
 func (c *Channel) origRanks() []int {
-	if !c.cfg.Replication.Replicated() {
-		out := make([]int, c.cfg.Ranks)
-		for i := range out {
-			out[i] = i
-		}
-		return out
+	n := c.cfg.Ranks
+	if c.cfg.Replication.Replicated() {
+		n = c.cfg.Ranks / 2
 	}
-	half := c.cfg.Ranks / 2
-	out := make([]int, half)
-	for i := range out {
-		out[i] = i
+	out := c.origBuf[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
 	}
 	return out
 }
 
 // copyRankModels returns the rank models of the free (copy) module(s).
+// The slice aliases per-channel scratch valid until the next call.
 func (c *Channel) copyRankModels() []*dram.Rank {
 	if !c.cfg.Replication.Replicated() {
 		return nil
 	}
-	half := c.cfg.Ranks / 2
-	out := make([]*dram.Rank, 0, half)
-	for i := half; i < c.cfg.Ranks; i++ {
+	out := c.copyBuf[:0]
+	for i := c.cfg.Ranks / 2; i < c.cfg.Ranks; i++ {
 		out = append(out, c.ranks[i])
 	}
 	return out
@@ -652,5 +705,5 @@ func (c *Channel) QueueDepths() (reads, writes, parked int) {
 	if c.wb != nil {
 		p = c.wb.len()
 	}
-	return len(c.readQ), len(c.writeQ), p
+	return c.readQ.len(), c.writeQ.len(), p
 }

@@ -6,10 +6,17 @@ package memctrl
 // before the LLC has accumulated a full Hetero-DMR write batch. The
 // command scheduler never inspects it; its content drains through the
 // write buffer during write mode.
+//
+// Storage is a single flat array (set s occupies the fixed window
+// blocks[s*ways : (s+1)*ways], filled to setLen[s] in insertion order), so
+// the cache allocates everything up front and nothing per operation.
 type wbCache struct {
-	sets  [][]uint64 // per-set block addresses, insertion-ordered
-	ways  int
-	count int
+	blocks   []uint64 // nsets*ways flat backing store
+	setLen   []int    // occupied entries per set
+	nsets    int
+	ways     int
+	count    int
+	drainBuf []uint64 // reused by drain; see its doc comment
 }
 
 func newWBCache(blocks, ways int) *wbCache {
@@ -22,11 +29,18 @@ func newWBCache(blocks, ways int) *wbCache {
 	if ways > blocks {
 		ways = blocks
 	}
-	return &wbCache{sets: make([][]uint64, blocks/ways), ways: ways}
+	nsets := blocks / ways
+	return &wbCache{
+		blocks:   make([]uint64, nsets*ways),
+		setLen:   make([]int, nsets),
+		nsets:    nsets,
+		ways:     ways,
+		drainBuf: make([]uint64, 0, nsets*ways),
+	}
 }
 
 func (w *wbCache) setIndex(blockAddr uint64) int {
-	return int(blockAddr % uint64(len(w.sets)))
+	return int(blockAddr % uint64(w.nsets))
 }
 
 // wbInsert is insert's outcome, distinguished so the conservation
@@ -42,23 +56,28 @@ const (
 // insert records a dirty block. The caller falls back to the write buffer
 // on wbRejected.
 func (w *wbCache) insert(blockAddr uint64) wbInsert {
-	set := w.sets[w.setIndex(blockAddr)]
-	for _, a := range set {
+	si := w.setIndex(blockAddr)
+	base := si * w.ways
+	n := w.setLen[si]
+	for _, a := range w.blocks[base : base+n] {
 		if a == blockAddr {
 			return wbCoalesced // coalesced with an earlier writeback
 		}
 	}
-	if len(set) >= w.ways {
+	if n >= w.ways {
 		return wbRejected
 	}
-	w.sets[w.setIndex(blockAddr)] = append(set, blockAddr)
+	w.blocks[base+n] = blockAddr
+	w.setLen[si] = n + 1
 	w.count++
 	return wbParked
 }
 
 // contains reports whether the block is parked in the cache.
 func (w *wbCache) contains(blockAddr uint64) bool {
-	for _, a := range w.sets[w.setIndex(blockAddr)] {
+	si := w.setIndex(blockAddr)
+	base := si * w.ways
+	for _, a := range w.blocks[base : base+w.setLen[si]] {
 		if a == blockAddr {
 			return true
 		}
@@ -69,13 +88,20 @@ func (w *wbCache) contains(blockAddr uint64) bool {
 // len returns the number of parked blocks.
 func (w *wbCache) len() int { return w.count }
 
-// drain removes and returns every parked block.
+// drain removes and returns every parked block, set-major in insertion
+// order (ascending set index, oldest parked first within a set) — the
+// same deterministic order every run. The returned slice aliases an
+// internal buffer that the next drain reuses; the caller must consume it
+// before draining again (enterWriteMode moves it straight into the write
+// queue).
 func (w *wbCache) drain() []uint64 {
-	out := make([]uint64, 0, w.count)
-	for i, set := range w.sets {
-		out = append(out, set...)
-		w.sets[i] = nil
+	out := w.drainBuf[:0]
+	for si := 0; si < w.nsets; si++ {
+		base := si * w.ways
+		out = append(out, w.blocks[base:base+w.setLen[si]]...)
+		w.setLen[si] = 0
 	}
 	w.count = 0
+	w.drainBuf = out
 	return out
 }

@@ -7,6 +7,7 @@ package node
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
@@ -162,6 +163,11 @@ func (r *router) WaitFor(req *memctrl.Request) int64 {
 	return r.pick(req.Addr).WaitFor(req)
 }
 
+func (r *router) Release(req *memctrl.Request) {
+	// Route before the channel recycles the handle (which resets Addr).
+	r.pick(req.Addr).Release(req)
+}
+
 // channelCleaner filters the shared LLC's dirty blocks down to the ones
 // homed on a particular channel, so each channel's write batch only cleans
 // its own blocks.
@@ -169,6 +175,13 @@ type channelCleaner struct {
 	l3    *cache.Cache
 	r     *router
 	owner *memctrl.Channel
+	match func(addr uint64) bool // built once; avoids a closure per write mode
+}
+
+func newChannelCleaner(l3 *cache.Cache, r *router, owner *memctrl.Channel) *channelCleaner {
+	cc := &channelCleaner{l3: l3, r: r, owner: owner}
+	cc.match = func(addr uint64) bool { return cc.r.pick(addr) == cc.owner }
+	return cc
 }
 
 func (cc *channelCleaner) CleanDirty(max int) []uint64 {
@@ -179,9 +192,48 @@ func (cc *channelCleaner) CleanDirty(max int) []uint64 {
 	if cap := cc.l3.DirtyCount() / 32; max > cap {
 		max = cap
 	}
-	return cc.l3.CleanDirtyMatching(max, func(addr uint64) bool {
-		return cc.r.pick(addr) == cc.owner
-	})
+	return cc.l3.CleanDirtyMatching(max, cc.match)
+}
+
+// runScratch is the per-run working state Run reuses across simulations.
+// The experiment engine's prewarm cache executes thousands of node runs
+// back to back; without reuse, rebuilding the cache hierarchies' line
+// arrays and the scheduler's bookkeeping slices for every run dominated
+// the engine's allocation profile. Everything here is either fully
+// overwritten (the object slices) or explicitly zeroed (the arena, the
+// bool slices) before reuse, so a pooled run is state-identical to a
+// fresh one and simulation output is unchanged.
+type runScratch struct {
+	arena    cache.Arena
+	chans    []*memctrl.Channel
+	cores    []*cpu.Core
+	streams  []*workload.Stream
+	l1s, l2s []*cache.Cache
+	done     []bool
+	warmed   []bool
+	warmCore []cpu.Stats
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// boolScratch returns s resized to n with every element false.
+func boolScratch(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// objScratch returns s resized to n; callers overwrite every element.
+func objScratch[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // Run executes one benchmark on one machine+design and returns the
@@ -209,7 +261,15 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 	}
 	prof.WarmSetBytes /= scale
 
-	rt := &router{}
+	scr := scratchPool.Get().(*runScratch)
+	defer func() {
+		// Nothing built below outlives Run (Result holds only copied
+		// stats), so the arena and bookkeeping slices recycle safely.
+		scr.arena.Reset()
+		scratchPool.Put(scr)
+	}()
+
+	rt := &router{chans: scr.chans[:0]}
 	for i := 0; i < cfg.H.Channels; i++ {
 		ch := memctrl.DefaultConfig(cfg.Replication, cfg.Spec, cfg.Fast)
 		ch.CopyErrorRate = cfg.CopyErrorRate
@@ -237,6 +297,7 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 		}
 		rt.chans = append(rt.chans, chn)
 	}
+	scr.chans = rt.chans
 	scope := cfg.ObsScope
 	if scope == "" {
 		scope = fmt.Sprintf("%s/%s/%s/seed%d", cfg.H.Name, cfg.Replication, prof.Name, cfg.Seed)
@@ -247,7 +308,7 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 		}
 	}
 
-	l3 := cache.New(cache.Config{
+	l3 := cache.NewIn(&scr.arena, cache.Config{
 		SizeBytes:  cfg.H.L3TotalBytes / int(scale),
 		Ways:       16,
 		BlockBytes: 64,
@@ -255,21 +316,22 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 	})
 	// Wire proactive cleaning (the §III-E hook) per channel.
 	for _, chn := range rt.chans {
-		chn.AttachCleanSource(&channelCleaner{l3: l3, r: rt, owner: chn})
+		chn.AttachCleanSource(newChannelCleaner(l3, rt, chn))
 	}
 
-	cores := make([]*cpu.Core, cfg.H.Cores)
-	streams := make([]*workload.Stream, cfg.H.Cores)
-	l1s := make([]*cache.Cache, cfg.H.Cores)
-	l2s := make([]*cache.Cache, cfg.H.Cores)
+	scr.cores = objScratch(scr.cores, cfg.H.Cores)
+	scr.streams = objScratch(scr.streams, cfg.H.Cores)
+	scr.l1s = objScratch(scr.l1s, cfg.H.Cores)
+	scr.l2s = objScratch(scr.l2s, cfg.H.Cores)
+	cores, streams, l1s, l2s := scr.cores, scr.streams, scr.l1s, scr.l2s
 	for i := range cores {
-		l1 := cache.New(cache.Config{
+		l1 := cache.NewIn(&scr.arena, cache.Config{
 			SizeBytes:  64 << 10, // 64KB split D/I modelled as one (Table IV)
 			Ways:       8,
 			BlockBytes: 64,
 			LatencyPS:  3 * cpu.ClockPS,
 		})
-		l2 := cache.New(cache.Config{
+		l2 := cache.NewIn(&scr.arena, cache.Config{
 			SizeBytes:  cfg.H.L2PerCoreBytes / int(scale),
 			Ways:       16,
 			BlockBytes: 64,
@@ -290,12 +352,13 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 
 	// Interleave cores in virtual-time order; snapshot statistics when the
 	// last core finishes its warmup.
-	done := make([]bool, len(cores))
+	scr.done = boolScratch(scr.done, len(cores))
+	scr.warmed = boolScratch(scr.warmed, len(cores))
+	done, warmed := scr.done, scr.warmed
 	remaining := len(cores)
 	warmLeft := len(cores)
-	warmed := make([]bool, len(cores))
 	var warmEndPS int64
-	var warmCore []cpu.Stats
+	warmCore := scr.warmCore[:0]
 	var warmMem memctrl.Stats
 	var warmActs uint64
 	for remaining > 0 {
@@ -327,6 +390,7 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 					}
 					warmCore = append(warmCore, c.Stats())
 				}
+				scr.warmCore = warmCore
 				warmMem, warmActs = gather(rt)
 			}
 		}
@@ -336,6 +400,7 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 	res.Benchmark = prof.Name
 	res.Design = cfg.Replication
 	res.Hierarchy = cfg.H.Name
+	res.CoreStats = make([]cpu.Stats, 0, len(cores))
 	for i, c := range cores {
 		if c.Now() > res.ExecPS {
 			res.ExecPS = c.Now()

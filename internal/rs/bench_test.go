@@ -1,0 +1,28 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// BenchmarkRSDetect measures detection-only decoding of the Bamboo
+// geometry (64 data bytes + 8 embedded address bytes + 8 parity bytes),
+// the check every unsafely fast copy read pays. Run with -benchmem; it
+// should be allocation-free.
+func BenchmarkRSDetect(b *testing.B) {
+	c := MustNew(72, 8)
+	data := make([]byte, 72)
+	r := xrand.New(1)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	cw := c.Encode(data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Detect(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

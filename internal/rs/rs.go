@@ -30,6 +30,14 @@ type Code struct {
 	k   int    // data bytes per codeword
 	p   int    // parity bytes per codeword
 	gen []byte // generator polynomial, ascending-degree, degree p
+
+	// Precomputed multiplication rows (see gf256.MulTable), so the hot
+	// detect/encode paths are pure table lookups with no log/exp
+	// indirection and no per-call allocation:
+	//   synRows[i][v] == v * alpha^i   (syndrome evaluation points)
+	//   genRows[j][v] == v * gen[p-1-j] (encoder long-division step)
+	synRows [][256]byte
+	genRows [][256]byte
 }
 
 // Errors returned by the decoders.
@@ -53,7 +61,14 @@ func New(k, p int) (*Code, error) {
 	for i := 0; i < p; i++ {
 		gen = gf256.PolyMul(gen, []byte{gf256.Exp(i), 1})
 	}
-	return &Code{k: k, p: p, gen: gen}, nil
+	c := &Code{k: k, p: p, gen: gen}
+	c.synRows = make([][256]byte, p)
+	c.genRows = make([][256]byte, p)
+	for i := 0; i < p; i++ {
+		c.synRows[i] = gf256.MulTable(gf256.Exp(i))
+		c.genRows[i] = gf256.MulTable(gen[p-1-i])
+	}
+	return c, nil
 }
 
 // MustNew is New that panics on error, for static configurations.
@@ -103,8 +118,15 @@ func (c *Code) EncodeInto(cw []byte) {
 	}
 	// Polynomial long division of d(x)*x^p by g(x); remainder is parity.
 	// We process data most-significant coefficient first (index 0 is the
-	// x^(n-1) coefficient).
-	rem := make([]byte, c.p)
+	// x^(n-1) coefficient). The remainder lives on the stack for every
+	// practical parity width, so encoding does not allocate.
+	var remBuf [16]byte
+	var rem []byte
+	if c.p <= len(remBuf) {
+		rem = remBuf[:c.p]
+	} else {
+		rem = make([]byte, c.p)
+	}
 	for i := 0; i < c.k; i++ {
 		factor := cw[i] ^ rem[0]
 		copy(rem, rem[1:])
@@ -112,7 +134,7 @@ func (c *Code) EncodeInto(cw []byte) {
 		if factor != 0 {
 			// Subtract factor*g(x); gen has degree p with gen[p]==1.
 			for j := 0; j < c.p; j++ {
-				rem[j] ^= gf256.Mul(factor, c.gen[c.p-1-j])
+				rem[j] ^= c.genRows[j][factor]
 			}
 		}
 	}
@@ -127,10 +149,10 @@ func (c *Code) syndromes(cw []byte) ([]byte, bool) {
 	syn := make([]byte, c.p)
 	nonzero := false
 	for i := 0; i < c.p; i++ {
-		x := gf256.Exp(i)
+		row := &c.synRows[i]
 		var acc byte
 		for j := 0; j < n; j++ {
-			acc = gf256.Mul(acc, x) ^ cw[j]
+			acc = row[acc] ^ cw[j]
 		}
 		syn[i] = acc
 		if acc != 0 {
@@ -144,13 +166,41 @@ func (c *Code) syndromes(cw []byte) ([]byte, bool) {
 // returns nil if the codeword is consistent, or ErrDetected otherwise.
 // It never modifies cw and never attempts correction — this is the decode
 // mode Hetero-DMR applies to copies read at unsafely fast data rates.
-// It panics if len(cw) != k+p.
+// It allocates nothing: each syndrome is a Horner scan through the
+// precomputed alpha^i multiplication row. It panics if len(cw) != k+p.
 func (c *Code) Detect(cw []byte) error {
 	if len(cw) != c.k+c.p {
 		panic(fmt.Sprintf("rs: Detect with %d bytes, want %d", len(cw), c.k+c.p))
 	}
-	if _, bad := c.syndromes(cw); bad {
-		return ErrDetected
+	return c.DetectParts(cw, nil, nil)
+}
+
+// DetectParts is Detect over a codeword stored as up to three
+// non-contiguous pieces, scanned in order (empty pieces are fine). It lets
+// callers that hold data, embedded metadata, and parity in separate
+// buffers — like the ECC layer's (data, address, parity) split — run the
+// syndrome check without assembling a contiguous codeword. It panics
+// unless the pieces' lengths sum to k+p.
+func (c *Code) DetectParts(p0, p1, p2 []byte) error {
+	if len(p0)+len(p1)+len(p2) != c.k+c.p {
+		panic(fmt.Sprintf("rs: DetectParts with %d bytes, want %d",
+			len(p0)+len(p1)+len(p2), c.k+c.p))
+	}
+	for i := 0; i < c.p; i++ {
+		row := &c.synRows[i]
+		var acc byte
+		for _, b := range p0 {
+			acc = row[acc] ^ b
+		}
+		for _, b := range p1 {
+			acc = row[acc] ^ b
+		}
+		for _, b := range p2 {
+			acc = row[acc] ^ b
+		}
+		if acc != 0 {
+			return ErrDetected
+		}
 	}
 	return nil
 }

@@ -121,13 +121,14 @@ type Stream struct {
 	rng       *xrand.Rand
 	remaining int64 // instructions left to emit
 
-	hot      []uint64 // recently touched block addresses
-	hotN     int
-	warmBase uint64   // base of this core's warm working-set region
-	seqAddrs []uint64 // per-stream next sequential address
-	curStrm  int      // stream of the active sequential run (-1 none)
-	runLeft  int      // blocks left in the active run
-	pending  *Event   // access event to emit after the compute gap
+	hot        []uint64 // recently touched block addresses
+	hotN       int
+	warmBase   uint64   // base of this core's warm working-set region
+	seqAddrs   []uint64 // per-stream next sequential address
+	curStrm    int      // stream of the active sequential run (-1 none)
+	runLeft    int      // blocks left in the active run
+	pending    Event    // access event to emit after the compute gap
+	hasPending bool
 
 	instrSinceComm int64
 	commEveryInstr int64
@@ -183,10 +184,9 @@ func hashName(name string) uint64 {
 // Next returns the next trace event, or ok=false when the instruction
 // budget is exhausted.
 func (s *Stream) Next() (Event, bool) {
-	if s.pending != nil {
-		ev := *s.pending
-		s.pending = nil
-		return ev, true
+	if s.hasPending {
+		s.hasPending = false
+		return s.pending, true
 	}
 	if s.remaining <= 0 {
 		return Event{}, false
@@ -204,8 +204,8 @@ func (s *Stream) Next() (Event, bool) {
 	}
 	s.remaining -= gap
 	s.instrSinceComm += gap
-	acc := s.nextAccess()
-	s.pending = &acc
+	s.pending = s.nextAccess()
+	s.hasPending = true
 	return Event{Kind: Compute, Instr: gap}, true
 }
 
