@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race lint fmt vet analyze fuzz check bench bench-smoke ci
+.PHONY: all build test race lint fmt vet analyze fuzz check bench bench-compare bench-smoke ci
 
 all: build test lint
 
@@ -35,14 +35,25 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzAddrMapBijective -fuzztime $(FUZZTIME) ./internal/memctrl
 
 # bench runs the hot-path benchmark suite with allocation reporting: the
-# three steady-state micro-benchmarks (which must stay at 0 allocs/op)
-# and the full-suite BenchmarkRunAllSeq. Reference numbers live in
-# BENCH_hotpath.json.
+# steady-state micro-benchmarks (which must stay at 0 allocs/op) and the
+# full-suite BenchmarkRunAllSeq. Reference numbers live in
+# BENCH_hotpath.json (allocation pass) and BENCH_eventskip.json
+# (event-driven scheduling pass).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkChannelReadStream -benchmem ./internal/memctrl
 	$(GO) test -run '^$$' -bench BenchmarkHeteroDMRReadMode -benchmem ./internal/heterodmr
 	$(GO) test -run '^$$' -bench BenchmarkRSDetect -benchmem ./internal/rs
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAll' -benchmem -benchtime 1x .
+
+# bench-compare pits each optimized path against its in-tree legacy twin
+# — the event-driven channel scheduler vs the poll-per-step scans and the
+# word-parallel RS syndrome sweep vs the byte-wise reference — then runs
+# the full suite for comparison against BENCH_eventskip.json. The twins
+# are the same pairs the differential/fuzz tests pin to identical output.
+bench-compare:
+	$(GO) test -run '^$$' -bench 'BenchmarkChannel(ReadStream|ScanScheduler)' -benchmem ./internal/memctrl
+	$(GO) test -run '^$$' -bench 'BenchmarkRSDetect' -benchmem ./internal/rs
+	$(GO) test -run '^$$' -bench BenchmarkRunAllSeq -benchmem -benchtime 1x .
 
 # bench-smoke compiles and runs every benchmark once under the race
 # detector — a correctness gate (the benchmarks drive the same pooled

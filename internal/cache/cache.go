@@ -14,14 +14,21 @@ import (
 	"repro/internal/obs"
 )
 
-// line is one cache line's metadata; data contents are not modelled.
-type line struct {
-	tag        uint64 // block address
-	valid      bool
-	dirty      bool
-	prefetched bool   // brought in by a prefetcher and not yet demanded
-	lastUse    uint64 // LRU timestamp
-}
+// Line metadata is stored struct-of-arrays: the tag probe — the loop every
+// access runs — walks a dense []uint64 window (one or two cache lines for
+// an 8/16-way set) instead of striding through per-line structs, and the
+// LRU victim scan walks an equally dense lastUse window. Dirty/prefetched
+// bits live in a byte array touched only for the single way an operation
+// settles on. A way's validity is encoded in its tag: invalidTag is
+// unreachable as a block address (block = addr/BlockBytes with
+// BlockBytes >= 2, so blocks fit in 63 bits), which lets the probe loop
+// compare tags alone with no validity test.
+const invalidTag = uint64(1) << 63
+
+const (
+	flagDirty uint8 = 1 << iota
+	flagPrefetched
+)
 
 // Config sizes a cache level.
 type Config struct {
@@ -34,10 +41,25 @@ type Config struct {
 // Cache is one level of set-associative write-back cache.
 // It is not safe for concurrent use.
 type Cache struct {
-	cfg   Config
-	sets  [][]line
-	nsets int
-	tick  uint64
+	cfg     Config
+	nsets   int
+	ways    int
+	setMask int // nsets-1 when nsets is a power of two, else -1
+	tick    uint64
+
+	// Flat per-line state, indexed by position p = set*ways + way.
+	tags    []uint64 // block address, or invalidTag
+	lastUse []uint64 // LRU timestamp
+	flags   []uint8  // flagDirty | flagPrefetched
+
+	// Dirty-line index: dirtyList holds the position of every dirty
+	// resident line, dirtyPos maps a position back to its dirtyList slot
+	// (-1 when clean). DirtyCount and the proactive cleaning sweep read
+	// the list instead of scanning every line; order within the list is
+	// irrelevant because cleaning selects and sorts by the strictly
+	// unique lastUse ticks.
+	dirtyList []int32
+	dirtyPos  []int32
 
 	// Stats.
 	Hits, Misses   uint64
@@ -55,54 +77,69 @@ type Cache struct {
 	cleanOut   []uint64
 }
 
-// Arena is a reusable backing store for cache line arrays. A caller that
-// builds many short-lived hierarchies back to back (the experiment
-// engine's prewarm cache) keeps one Arena per worker: NewIn carves each
-// cache's lines out of it, and Reset zeroes the used portion so the next
-// hierarchy starts from the exact state a fresh allocation would have.
-// The zero value is ready to use. An Arena must not be Reset while any
-// cache built from it is still in use.
-type Arena struct {
-	lines []line
-	off   int
+// pool is one typed backing store inside an Arena. alloc hands out a
+// zeroed window of n elements; when the current backing is exhausted a
+// larger one is allocated, and windows carved earlier keep pointing at
+// the old backing, which dies with the hierarchy using it.
+type pool[T any] struct {
+	buf []T
+	off int
 }
 
-// alloc hands out a zeroed window of n lines. When the current backing is
-// exhausted a larger one is allocated; windows carved earlier keep
-// pointing at the old backing, which dies with the hierarchy using it.
-func (a *Arena) alloc(n int) []line {
-	if a.off+n > len(a.lines) {
-		size := 2 * len(a.lines)
+func (p *pool[T]) alloc(n int) []T {
+	if p.off+n > len(p.buf) {
+		size := 2 * len(p.buf)
 		if size < n {
 			size = n
 		}
-		a.lines = make([]line, size)
-		a.off = 0
+		p.buf = make([]T, size)
+		p.off = 0
 	}
-	s := a.lines[a.off : a.off+n : a.off+n]
-	a.off += n
+	s := p.buf[p.off : p.off+n : p.off+n]
+	p.off += n
 	return s
 }
 
-// Reset zeroes the lines handed out since the last Reset, readying the
+func (p *pool[T]) reset() {
+	var zero T
+	used := p.buf[:p.off]
+	for i := range used {
+		used[i] = zero
+	}
+	p.off = 0
+}
+
+// Arena is a reusable backing store for cache state arrays. A caller that
+// builds many short-lived hierarchies back to back (the experiment
+// engine's prewarm cache) keeps one Arena per worker: NewIn carves each
+// cache's arrays out of it, and Reset zeroes the used portions so the
+// next hierarchy starts from the exact state a fresh allocation would
+// have. The zero value is ready to use. An Arena must not be Reset while
+// any cache built from it is still in use.
+type Arena struct {
+	u64 pool[uint64]
+	u8  pool[uint8]
+	i32 pool[int32]
+}
+
+// Reset zeroes the windows handed out since the last Reset, readying the
 // Arena for the next hierarchy.
 func (a *Arena) Reset() {
-	used := a.lines[:a.off]
-	for i := range used {
-		used[i] = line{}
-	}
-	a.off = 0
+	a.u64.reset()
+	a.u8.reset()
+	a.i32.reset()
 }
 
 // New builds a cache level. It panics on invalid geometry so
 // misconfiguration fails fast at node construction.
 func New(cfg Config) *Cache { return NewIn(nil, cfg) }
 
-// NewIn is New with the line array carved out of arena (nil behaves like
-// New). Arena-backed caches cost no steady-state allocation when the
+// NewIn is New with the state arrays carved out of arena (nil behaves
+// like New). Arena-backed caches cost no steady-state allocation when the
 // arena is recycled across hierarchies.
 func NewIn(arena *Arena, cfg Config) *Cache {
-	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes <= 0 {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes < 2 {
+		// BlockBytes >= 2 keeps block addresses below invalidTag.
 		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
 	}
 	blocks := cfg.SizeBytes / cfg.BlockBytes
@@ -113,22 +150,50 @@ func NewIn(arena *Arena, cfg Config) *Cache {
 	if nsets == 0 {
 		panic("cache: zero sets")
 	}
-	c := &Cache{cfg: cfg, nsets: nsets}
-	// One flat backing array carved into per-set windows: two allocations
-	// for the whole cache (or none, from an arena) instead of one per set,
-	// which matters because node simulations construct fresh hierarchies
-	// per run.
-	var flat []line
+	c := &Cache{cfg: cfg, nsets: nsets, ways: cfg.Ways}
 	if arena != nil {
-		flat = arena.alloc(nsets * cfg.Ways)
+		c.tags = arena.u64.alloc(blocks)
+		c.lastUse = arena.u64.alloc(blocks)
+		c.flags = arena.u8.alloc(blocks)
+		c.dirtyPos = arena.i32.alloc(blocks)
+		// The dirty list can never exceed one entry per line, so a
+		// full-capacity window makes append allocation-free for the
+		// cache's whole lifetime.
+		c.dirtyList = arena.i32.alloc(blocks)[:0]
 	} else {
-		flat = make([]line, nsets*cfg.Ways)
+		c.tags = make([]uint64, blocks)
+		c.lastUse = make([]uint64, blocks)
+		c.flags = make([]uint8, blocks)
+		c.dirtyPos = make([]int32, blocks)
 	}
-	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = flat[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	for i := range c.dirtyPos {
+		c.dirtyPos[i] = -1
+	}
+	c.setMask = -1
+	if nsets&(nsets-1) == 0 {
+		c.setMask = nsets - 1
 	}
 	return c
+}
+
+// markDirty records position p (set*ways+way) as dirty.
+func (c *Cache) markDirty(p int) {
+	c.dirtyPos[p] = int32(len(c.dirtyList))
+	c.dirtyList = append(c.dirtyList, int32(p))
+}
+
+// markClean removes position p from the dirty index (swap-with-last).
+func (c *Cache) markClean(p int) {
+	i := c.dirtyPos[p]
+	last := len(c.dirtyList) - 1
+	moved := c.dirtyList[last]
+	c.dirtyList[i] = moved
+	c.dirtyPos[moved] = i
+	c.dirtyList = c.dirtyList[:last]
+	c.dirtyPos[p] = -1
 }
 
 // Config returns the cache's configuration.
@@ -137,8 +202,13 @@ func (c *Cache) Config() Config { return c.cfg }
 func (c *Cache) index(block uint64) int {
 	// Hash the upper bits in lightly so strided streams spread across
 	// sets the way physical indexing does. Set counts need not be powers
-	// of two (the paper's 28MB/22MB L3 sizes are not), so index by modulo.
+	// of two (the paper's 28MB/22MB L3 sizes are not), so index by modulo
+	// — with a mask fast path when they are (identical result, and the
+	// L1/L2 levels on the access-critical path are always powers of two).
 	h := block ^ (block >> uint(bits.Len(uint(c.nsets))))
+	if c.setMask >= 0 {
+		return int(h) & c.setMask
+	}
 	return int(h % uint64(c.nsets))
 }
 
@@ -148,9 +218,9 @@ func (c *Cache) Block(addr uint64) uint64 { return addr / uint64(c.cfg.BlockByte
 // Lookup probes the cache without changing replacement or dirty state.
 func (c *Cache) Lookup(addr uint64) bool {
 	block := c.Block(addr)
-	set := c.sets[c.index(block)]
-	for i := range set {
-		if set[i].valid && set[i].tag == block {
+	base := c.index(block) * c.ways
+	for _, t := range c.tags[base : base+c.ways] {
+		if t == block {
 			return true
 		}
 	}
@@ -164,16 +234,17 @@ func (c *Cache) Lookup(addr uint64) bool {
 func (c *Cache) Access(addr uint64, write bool) bool {
 	c.tick++
 	block := c.Block(addr)
-	set := c.sets[c.index(block)]
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == block {
-			l.lastUse = c.tick
-			if write {
-				l.dirty = true
+	base := c.index(block) * c.ways
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == block {
+			p := base + i
+			c.lastUse[p] = c.tick
+			if write && c.flags[p]&flagDirty == 0 {
+				c.flags[p] |= flagDirty
+				c.markDirty(p)
 			}
-			if l.prefetched {
-				l.prefetched = false
+			if c.flags[p]&flagPrefetched != 0 {
+				c.flags[p] &^= flagPrefetched
 				c.PrefetchUseful++
 			}
 			c.Hits++
@@ -191,42 +262,67 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 func (c *Cache) Fill(addr uint64, write, prefetch bool) (victim uint64, dirtyVictim bool) {
 	c.tick++
 	block := c.Block(addr)
-	set := c.sets[c.index(block)]
+	base := c.index(block) * c.ways
+	tags := c.tags[base : base+c.ways]
 	// One pass over the set: bail out if the block is already present
 	// (e.g. a racing prefetch) while tracking the victim for the miss
 	// case — the first invalid way, else the least-recently-used one.
+	// The incumbent's validity/recency live in locals so the loop does
+	// not re-index per comparison (this is the hottest loop in the cache
+	// hierarchy).
 	vi := -1
-	for i := range set {
-		l := &set[i]
-		if !l.valid {
-			if vi < 0 || set[vi].valid {
-				vi = i
+	viValid := false
+	var viLast uint64
+	for i, t := range tags {
+		if t == invalidTag {
+			if vi < 0 || viValid {
+				vi, viValid = i, false
 			}
 			continue
 		}
-		if l.tag == block {
-			if write {
-				l.dirty = true
+		if t == block {
+			p := base + i
+			if write && c.flags[p]&flagDirty == 0 {
+				c.flags[p] |= flagDirty
+				c.markDirty(p)
 			}
-			l.lastUse = c.tick
+			c.lastUse[p] = c.tick
 			return 0, false
 		}
-		if vi < 0 || (set[vi].valid && l.lastUse < set[vi].lastUse) {
-			vi = i
+		if vi < 0 || (viValid && c.lastUse[base+i] < viLast) {
+			vi, viValid, viLast = i, true, c.lastUse[base+i]
 		}
 	}
-	v := set[vi]
-	set[vi] = line{tag: block, valid: true, dirty: write, prefetched: prefetch, lastUse: c.tick}
+	vp := base + vi
+	vTag := tags[vi]
+	vDirty := c.flags[vp]&flagDirty != 0
+	tags[vi] = block
+	c.lastUse[vp] = c.tick
+	var nf uint8
+	if write {
+		nf = flagDirty
+	}
+	if prefetch {
+		nf |= flagPrefetched
+	}
+	c.flags[vp] = nf
+	if viValid && vDirty {
+		if !write {
+			c.markClean(vp)
+		}
+	} else if write {
+		c.markDirty(vp)
+	}
 	c.Fills++
 	if prefetch {
 		c.PrefetchFills++
 	}
-	if v.valid {
+	if viValid {
 		c.Evictions++
 	}
-	if v.valid && v.dirty {
+	if viValid && vDirty {
 		c.Writebacks++
-		return v.tag * uint64(c.cfg.BlockBytes), true
+		return vTag * uint64(c.cfg.BlockBytes), true
 	}
 	return 0, false
 }
@@ -234,12 +330,17 @@ func (c *Cache) Fill(addr uint64, write, prefetch bool) (victim uint64, dirtyVic
 // Invalidate drops a block if present, returning whether it was dirty.
 func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
 	block := c.Block(addr)
-	set := c.sets[c.index(block)]
-	for i := range set {
-		l := &set[i]
-		if l.valid && l.tag == block {
-			d := l.dirty
-			*l = line{}
+	base := c.index(block) * c.ways
+	for i, t := range c.tags[base : base+c.ways] {
+		if t == block {
+			p := base + i
+			d := c.flags[p]&flagDirty != 0
+			if d {
+				c.markClean(p)
+			}
+			c.tags[p] = invalidTag
+			c.lastUse[p] = 0
+			c.flags[p] = 0
 			c.Invalidations++
 			return d
 		}
@@ -250,28 +351,17 @@ func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
 // Resident returns the number of valid lines.
 func (c *Cache) Resident() int {
 	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				n++
-			}
+	for _, t := range c.tags {
+		if t != invalidTag {
+			n++
 		}
 	}
 	return n
 }
 
 // DirtyCount returns the number of dirty lines currently resident.
-func (c *Cache) DirtyCount() int {
-	n := 0
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].dirty {
-				n++
-			}
-		}
-	}
-	return n
-}
+// O(1): the dirty index tracks every transition.
+func (c *Cache) DirtyCount() int { return len(c.dirtyList) }
 
 // CleanDirty implements §III-E's proactive LLC cleaning: it marks up to
 // max dirty blocks clean, least-recently-used first, and returns their
@@ -283,8 +373,8 @@ func (c *Cache) CleanDirty(max int) []uint64 {
 
 // cleanCand locates one dirty line considered for proactive cleaning.
 type cleanCand struct {
-	set, way int
-	lastUse  uint64
+	pos     int32
+	lastUse uint64
 }
 
 // cleanCands sorts candidates least-recently-used first. lastUse values
@@ -326,17 +416,16 @@ func (c *Cache) CleanDirtyMatching(max int, match func(addr uint64) bool) []uint
 	if max <= 0 {
 		return nil
 	}
+	// Enumerate candidates from the dirty index instead of scanning every
+	// line. The index's order is arbitrary (swap-with-last removal), but
+	// the selection below keys on the strictly unique lastUse ticks, so
+	// the cleaned set and its order are independent of enumeration order.
 	cands := c.cleanCands[:0]
-	for si, set := range c.sets {
-		for wi := range set {
-			if !set[wi].valid || !set[wi].dirty {
-				continue
-			}
-			if match != nil && !match(set[wi].tag*uint64(c.cfg.BlockBytes)) {
-				continue
-			}
-			cands = append(cands, cleanCand{si, wi, set[wi].lastUse})
+	for _, p := range c.dirtyList {
+		if match != nil && !match(c.tags[p]*uint64(c.cfg.BlockBytes)) {
+			continue
 		}
+		cands = append(cands, cleanCand{p, c.lastUse[p]})
 	}
 	c.cleanCands = cands
 	if len(cands) > max {
@@ -361,9 +450,10 @@ func (c *Cache) CleanDirtyMatching(max int, match func(addr uint64) bool) []uint
 	sort.Sort(cands)
 	out := c.cleanOut[:0]
 	for _, cd := range cands {
-		l := &c.sets[cd.set][cd.way]
-		l.dirty = false
-		out = append(out, l.tag*uint64(c.cfg.BlockBytes))
+		p := int(cd.pos)
+		c.flags[p] &^= flagDirty
+		c.markClean(p)
+		out = append(out, c.tags[p]*uint64(c.cfg.BlockBytes))
 	}
 	c.cleanOut = out
 	c.Cleans += uint64(len(out))
@@ -383,8 +473,27 @@ func (c *Cache) CheckConservation(source string) []obs.Violation {
 		"%d useful, %d fills", c.PrefetchUseful, c.PrefetchFills)
 	ck.Check(c.PrefetchFills <= c.Fills, "prefetch-fills<=fills",
 		"%d prefetch fills, %d fills", c.PrefetchFills, c.Fills)
-	ck.Check(c.Resident() <= c.nsets*c.cfg.Ways, "resident<=capacity",
-		"%d resident, %d lines", c.Resident(), c.nsets*c.cfg.Ways)
+	ck.Check(c.Resident() <= c.nsets*c.ways, "resident<=capacity",
+		"%d resident, %d lines", c.Resident(), c.nsets*c.ways)
+	// The dirty index must mirror the line state exactly: same count as a
+	// full scan, and every indexed position a dirty resident line whose
+	// back-pointer round-trips.
+	scan := 0
+	for p, t := range c.tags {
+		if t != invalidTag && c.flags[p]&flagDirty != 0 {
+			scan++
+		}
+	}
+	ck.CheckEq(int64(len(c.dirtyList)), int64(scan), "dirty-index==dirty-scan")
+	indexOK := true
+	for i, p := range c.dirtyList {
+		if c.tags[p] == invalidTag || c.flags[p]&flagDirty == 0 || c.dirtyPos[p] != int32(i) {
+			indexOK = false
+			break
+		}
+	}
+	ck.Check(indexOK, "dirty-index-entries-valid",
+		"a dirty-index entry points at a clean, invalid, or mis-linked line")
 	return ck.Violations()
 }
 

@@ -251,6 +251,12 @@ func (r *Rank) RefreshDue(now int64) bool {
 	return !r.selfRefresh && now >= r.nextRefresh
 }
 
+// NextRefresh returns the absolute deadline of the next auto-refresh.
+// Meaningless while the rank is in self-refresh (the rank refreshes
+// itself; ExitSelfRefresh re-arms the deadline). Controllers use it to
+// index the earliest due refresh instead of polling RefreshDue per rank.
+func (r *Rank) NextRefresh() int64 { return r.nextRefresh }
+
 // Refresh performs an all-bank refresh starting at `at`. All rows must be
 // closed. It blocks the rank for tRFC and returns when the rank is usable
 // again.

@@ -4,7 +4,9 @@ package dram
 // a column (RD/WR) command to row `row` of bank b could issue if the
 // controller were to schedule the necessary PRE/ACT sequence starting at
 // `now`. FR-FCFS and FMR's replica selection use it to compare candidate
-// banks/ranks cheaply.
+// banks/ranks cheaply. It is the hottest leaf of the write scheduler, so
+// the comparisons are spelled out instead of routed through the variadic
+// max64 helper.
 func (r *Rank) ProjectRead(b int, row int64, now int64) int64 {
 	bank := r.checkBank(b)
 	if r.selfRefresh {
@@ -12,19 +14,43 @@ func (r *Rank) ProjectRead(b int, row int64, now int64) int64 {
 	}
 	if bank.row == row && row != RowClosed {
 		// Row hit: just the column-readiness constraints.
-		return max64(now, bank.readyCol, r.refBusyEnd)
+		at := now
+		if bank.readyCol > at {
+			at = bank.readyCol
+		}
+		if r.refBusyEnd > at {
+			at = r.refBusyEnd
+		}
+		return at
 	}
-	actReady := func(after int64) int64 {
-		faw := r.actWindow[r.actWindowI] + r.timing.TFAW
-		return max64(after, bank.readyAct, r.lastAct+r.timing.TRRD, faw, r.refBusyEnd)
+	after := now
+	if bank.row != RowClosed {
+		// Row conflict: PRE first, then ACT, then RD.
+		preAt := now
+		if bank.readyPreRAS > preAt {
+			preAt = bank.readyPreRAS
+		}
+		if bank.readyPreCol > preAt {
+			preAt = bank.readyPreCol
+		}
+		if r.refBusyEnd > preAt {
+			preAt = r.refBusyEnd
+		}
+		after = preAt + r.timing.TRP
 	}
-	if bank.row == RowClosed {
-		// Row miss: ACT then RD.
-		at := actReady(now)
-		return at + r.timing.TRCD
+	// ACT readiness: bank tRP, rank tRRD, tFAW window, refresh window.
+	at := after
+	if bank.readyAct > at {
+		at = bank.readyAct
 	}
-	// Row conflict: PRE, ACT, RD.
-	preAt := max64(now, bank.readyPreRAS, bank.readyPreCol, r.refBusyEnd)
-	actAt := actReady(preAt + r.timing.TRP)
-	return actAt + r.timing.TRCD
+	if rrd := r.lastAct + r.timing.TRRD; rrd > at {
+		at = rrd
+	}
+	if faw := r.actWindow[r.actWindowI] + r.timing.TFAW; faw > at {
+		at = faw
+	}
+	if r.refBusyEnd > at {
+		at = r.refBusyEnd
+	}
+	return at + r.timing.TRCD
 }

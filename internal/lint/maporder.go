@@ -36,16 +36,18 @@ the output depend on it. Iterate a sorted key slice instead.`,
 // applies to. The default covers the packages whose output is rendered or
 // checksummed (report, experiments, montecarlo, obs — metrics/trace
 // exports must be byte-stable), the hot-path packages whose pooled
-// scratch state feeds the byte-identical simulation outputs (memctrl,
-// node, cache, heterodmr — e.g. the controller's pending-write block
-// index must never be iterated), plus the analyzer's own fixture package
-// so `cmd/analyze ./internal/lint/testdata/src/maporder` exercises it
+// scratch state and scheduling indexes feed the byte-identical
+// simulation outputs (memctrl, node, cache, heterodmr, dram, rs — e.g.
+// the controller's pending-write block index must never be iterated, and
+// the event-driven scheduler's indexes must stay order-free), plus the
+// analyzer's own fixture package so
+// `cmd/analyze ./internal/lint/testdata/src/maporder` exercises it
 // without extra flags.
 var mapOrderPkgs string
 
 func init() {
 	MapOrder.Flags.StringVar(&mapOrderPkgs, "pkgs",
-		"report,experiments,montecarlo,obs,memctrl,node,cache,heterodmr,maporder",
+		"report,experiments,montecarlo,obs,memctrl,node,cache,heterodmr,dram,rs,maporder",
 		"comma-separated package names the map-iteration check applies to")
 }
 

@@ -2,12 +2,10 @@ package memctrl
 
 import "testing"
 
-// BenchmarkChannelReadStream drives the controller's hot loop: a stream of
-// reads through a Hetero-DMR channel with enough writebacks mixed in to
-// exercise the writeback cache, mode switching, and both frequency
-// transitions. Run with -benchmem; the steady state should not allocate.
-func BenchmarkChannelReadStream(b *testing.B) {
-	c := hdmrChannel()
+// benchStream drives the controller's hot loop: a stream of reads with
+// enough writebacks mixed in to exercise the writeback cache, mode
+// switching, and (on fast designs) both frequency transitions.
+func benchStream(b *testing.B, c *Channel) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	addr := uint64(0)
@@ -26,4 +24,24 @@ func BenchmarkChannelReadStream(b *testing.B) {
 			addr += 64
 		}
 	}
+}
+
+// BenchmarkChannelReadStream measures the event-driven scheduler (the
+// default): clock jumps to the ring head, gated refresh/lazy-close, and
+// chain-indexed row-hit picks. Run with -benchmem; the steady state
+// should not allocate.
+func BenchmarkChannelReadStream(b *testing.B) {
+	benchStream(b, hdmrChannel())
+}
+
+// BenchmarkChannelScanScheduler is the same stream on the legacy
+// poll-per-step scan paths (Config.ScanScheduler). It keeps the scan
+// twin compiled, raced (CI runs every benchmark once under -race), and
+// comparable: the ratio to BenchmarkChannelReadStream is the scheduler
+// win in isolation from the rest of the node.
+func BenchmarkChannelScanScheduler(b *testing.B) {
+	fast := fastPoint()
+	cfg := DefaultConfig(ReplicationHeteroDMR, specPoint(), &fast)
+	cfg.ScanScheduler = true
+	benchStream(b, MustNewChannel(cfg))
 }

@@ -1,0 +1,246 @@
+package memctrl
+
+import "repro/internal/dram"
+
+// Per-bank pending-request chains and row-hit counters.
+//
+// Every queued request is threaded onto a doubly-linked chain for its
+// decoded (rank, bank), using the intrusive next/prev links in the pooled
+// Request nodes — no per-operation allocation. Chain order is queue push
+// order, which is also ring-position order, so walking a chain visits one
+// bank's requests oldest-first without touching the ring.
+//
+// On top of the chains the channel maintains, per *serving* bank, the
+// number of queued requests whose row matches that bank's currently open
+// row (rHits for reads, wHits for writes, plus their totals). A serving
+// bank is (rank r, bank b) where r may be the decoded original rank or a
+// copy rank holding a replica; chainRank maps a serving rank back to the
+// decoded rank whose chain it serves. The counters let the FR-FCFS
+// row-hit passes skip the queues entirely when no hit can exist — the
+// common state once the open pages age out — while remaining exact: a
+// non-zero counter only gates running the same selection the legacy scan
+// performs.
+//
+// The counters count row matches regardless of arrival time or streak
+// caps (those are re-checked by the gated selection), and they stay
+// correct across all replication modes because a rank that is not
+// currently a read candidate never has open rows: originals are
+// precharged before parking in self-refresh, and unused ranks never
+// receive commands.
+
+// reqChain is one bank's FIFO of queued requests.
+type reqChain struct {
+	head, tail *Request
+}
+
+func (ch *reqChain) push(r *Request) {
+	r.prev = ch.tail
+	r.next = nil
+	if ch.tail != nil {
+		ch.tail.next = r
+	} else {
+		ch.head = r
+	}
+	ch.tail = r
+}
+
+func (ch *reqChain) remove(r *Request) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		ch.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		ch.tail = r.prev
+	}
+	r.next, r.prev = nil, nil
+}
+
+// ranksServing returns the ranks that can serve requests of decoded rank
+// origRank: the original plus every copy. The slice aliases per-channel
+// scratch (servBuf) valid until the next call.
+func (c *Channel) ranksServing(origRank int) []int {
+	return c.appendCopyRanks(append(c.servBuf[:0], origRank), origRank)
+}
+
+// rHitsSet updates serving bank gb's read row-hit count, the global
+// total, and the dense hot-bank list (hotR/hotRPos) the chained row-hit
+// pass iterates. Membership changes only on 0↔nonzero transitions;
+// swap-with-last removal keeps both updates O(1). List order is
+// irrelevant to scheduling: the pass takes a global minimum over ring
+// positions, not the first hit it sees.
+func (c *Channel) rHitsSet(gb int, n int32) {
+	old := c.rHits[gb]
+	if n == old {
+		return
+	}
+	c.rHitTotal += int(n - old)
+	c.rHits[gb] = n
+	if old == 0 {
+		c.hotRPos[gb] = int32(len(c.hotR))
+		c.hotR = append(c.hotR, int32(gb))
+	} else if n == 0 {
+		i := c.hotRPos[gb]
+		last := len(c.hotR) - 1
+		moved := c.hotR[last]
+		c.hotR[i] = moved
+		c.hotRPos[moved] = i
+		c.hotR = c.hotR[:last]
+		c.hotRPos[gb] = -1
+	}
+}
+
+// chainPushRead threads a newly queued read and updates the row-hit
+// counters of every bank that could serve it.
+func (c *Channel) chainPushRead(req *Request) {
+	c.readChains[c.globalBank(req.rank, req.bank)].push(req)
+	for _, ri := range c.ranksServing(req.rank) {
+		if c.ranks[ri].Bank(req.bank).OpenRow() == req.row {
+			gb := c.globalBank(ri, req.bank)
+			c.rHitsSet(gb, c.rHits[gb]+1)
+		}
+	}
+}
+
+// chainRemoveRead unthreads a retiring read, updating the counters
+// against the banks' current open rows (any row changes during service
+// already recounted with the request still chained).
+func (c *Channel) chainRemoveRead(req *Request) {
+	c.readChains[c.globalBank(req.rank, req.bank)].remove(req)
+	for _, ri := range c.ranksServing(req.rank) {
+		if c.ranks[ri].Bank(req.bank).OpenRow() == req.row {
+			gb := c.globalBank(ri, req.bank)
+			c.rHitsSet(gb, c.rHits[gb]-1)
+		}
+	}
+}
+
+// chainPushWrite threads a newly queued write. Write row hits are only
+// checked against the decoded rank (broadcast targets follow the
+// original), so the counter update is a single bank probe.
+func (c *Channel) chainPushWrite(req *Request) {
+	gb := c.globalBank(req.rank, req.bank)
+	c.writeChains[gb].push(req)
+	if c.ranks[req.rank].Bank(req.bank).OpenRow() == req.row {
+		c.wHits[gb]++
+		c.wHitTotal++
+	}
+}
+
+// chainRemoveWrite unthreads a retiring write.
+func (c *Channel) chainRemoveWrite(req *Request) {
+	gb := c.globalBank(req.rank, req.bank)
+	c.writeChains[gb].remove(req)
+	if c.ranks[req.rank].Bank(req.bank).OpenRow() == req.row {
+		c.wHits[gb]--
+		c.wHitTotal--
+	}
+}
+
+// bankRowChanged recounts the row-hit counters of serving bank (ri, b)
+// after its open row changed (ACT, PRE, or PRE+ACT). The recount walks
+// the bank's chains — short, since queue occupancy spreads across all
+// banks — and evaluates the same predicate the incremental updates use.
+func (c *Channel) bankRowChanged(ri, b int) {
+	gb := c.globalBank(ri, b)
+	open := c.ranks[ri].Bank(b).OpenRow()
+
+	if cri := c.chainRank[ri]; cri >= 0 {
+		n := int32(0)
+		if open != dram.RowClosed {
+			for r := c.readChains[c.globalBank(cri, b)].head; r != nil; r = r.next {
+				if r.row == open {
+					n++
+				}
+			}
+		}
+		c.rHitsSet(gb, n)
+	}
+
+	// Write chains are keyed and checked on decoded ranks only; for copy
+	// ranks the chain is empty and this is a no-op.
+	n := int32(0)
+	if open != dram.RowClosed {
+		for r := c.writeChains[gb].head; r != nil; r = r.next {
+			if r.row == open {
+				n++
+			}
+		}
+	}
+	c.wHitTotal += int(n - c.wHits[gb])
+	c.wHits[gb] = n
+}
+
+// rankRowsChanged recounts every bank of serving rank ri (after a
+// PrechargeAll or a self-refresh transition).
+func (c *Channel) rankRowsChanged(ri int) {
+	for b := 0; b < c.cfg.BanksPerRank; b++ {
+		c.bankRowChanged(ri, b)
+	}
+}
+
+// recountAllRows rebuilds every row-hit counter from the chains; used
+// after mode transitions, which change several ranks and the candidate
+// sets at once. Transitions are rare (two per Hetero-DMR batch), so the
+// full sweep is cheap relative to what it guards.
+func (c *Channel) recountAllRows() {
+	for ri := range c.ranks {
+		c.rankRowsChanged(ri)
+	}
+}
+
+// pickReadChained is pickRead's event-driven first pass: the oldest
+// arrived row hit, found through the per-bank chains instead of a ring
+// scan. Only called when rHitTotal > 0. It returns the ring position and
+// serving rank, or (-1, -1) when every counted hit is still in flight
+// toward the controller (not yet arrived) or streak-capped differently
+// than counted — the caller then falls through to the ordinary oldest-
+// first pass, exactly like the legacy scan would.
+func (c *Channel) pickReadChained() (pos, serveRank int) {
+	var best *Request
+	bpr := c.cfg.BanksPerRank
+	for _, g := range c.hotR {
+		gb := int(g)
+		if gb == c.streakBank && c.streakLen >= hitStreakCap {
+			continue // bank fairness: streak exhausted for this bank
+		}
+		ri, b := gb/bpr, gb%bpr
+		open := c.ranks[ri].Bank(b).OpenRow()
+		// A bank only enters the hot list through a counted hit, which
+		// requires a serving rank, so chainRank[ri] >= 0 here.
+		for r := c.readChains[c.globalBank(c.chainRank[ri], b)].head; r != nil; r = r.next {
+			if r.Arrive > c.now {
+				break // chain is oldest-first; the rest arrived later
+			}
+			if r.row == open {
+				if best == nil || r.pos < best.pos {
+					best = r
+				}
+				break // oldest hit in this bank; later ones can't win
+			}
+		}
+	}
+	if best == nil {
+		return -1, -1
+	}
+	// Re-resolve the serving rank in candidate order so ties between an
+	// original and its copy break exactly like the legacy scan (which
+	// probes readCandidateRanks in order and returns the first hit).
+	for _, cand := range c.readCandidateRanks(best.rank) {
+		r := c.ranks[cand]
+		if r.InSelfRefresh() {
+			continue
+		}
+		if r.Bank(best.bank).OpenRow() == best.row && c.streak(c.globalBank(cand, best.bank)) < hitStreakCap {
+			return best.pos, cand
+		}
+	}
+	// Unreachable: best came from a serving bank with an open-row match
+	// and a live streak budget, and such a bank is always in the request's
+	// candidate list (a rank outside it never has open rows). Diverging
+	// silently into the second pass would break scan equivalence, so fail
+	// loudly instead.
+	panic("memctrl: chained row hit lost during candidate re-resolution")
+}

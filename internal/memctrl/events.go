@@ -1,0 +1,188 @@
+package memctrl
+
+// Event-driven scheduling indexes.
+//
+// The legacy controller discovered the next actionable moment by brute
+// force: every step rescanned all ranks for due refreshes, walked every
+// bank of every rank for page timeouts, and swept the whole read ring for
+// the earliest arrival. The indexes here make each of those checks O(1)
+// (amortized) in the nothing-to-do case while leaving the scheduling
+// decisions — and therefore the virtual clock, the statistics, and every
+// byte of suite output — exactly identical to the scans:
+//
+//   - refreshAt caches the minimum auto-refresh deadline over awake
+//     ranks; serviceRefresh returns immediately while now < refreshAt and
+//     otherwise runs the unchanged legacy scan (which is then guaranteed
+//     to find a due rank).
+//   - closeHeap is a lazy-deletion min-heap of (deadline, bank) page-
+//     timeout expiries, pushed whenever a column command refreshes a
+//     bank's lastUse; lazyClose pops only the entries whose deadline has
+//     passed, discarding stale ones (row since closed, rank parked, or a
+//     newer use superseded the deadline). Per-bank precharges commute, so
+//     deadline order and the legacy rank-major order produce identical
+//     state.
+//   - nextEventTime is the idle-clock jump target. In the pinned
+//     scheduling semantics the clock only ever jumps to the oldest
+//     pending arrival (refresh/timeout/timing expiries are evaluated
+//     lazily at that instant), and because SubmitRead arrivals are
+//     non-decreasing the oldest pending arrival is simply the ring head —
+//     no sweep.
+//
+// The legacy scan paths remain compiled behind Config.ScanScheduler (the
+// same pattern as the noPool freelist hook) and differential tests pin
+// scan ≡ event equivalence at channel and full-node level.
+
+// closeEvent is one page-timeout expiry: bank gb's open row becomes
+// eligible for a background precharge at instant `at`.
+type closeEvent struct {
+	at int64
+	gb int32
+}
+
+// initSchedIndexes sizes the per-bank chains, counters, and inverse rank
+// map. Called once from NewChannel before any command is issued.
+func (c *Channel) initSchedIndexes() {
+	nb := c.cfg.Ranks * c.cfg.BanksPerRank
+	c.readChains = make([]reqChain, nb)
+	c.writeChains = make([]reqChain, nb)
+	c.rHits = make([]int32, nb)
+	c.wHits = make([]int32, nb)
+	c.chainRank = make([]int, c.cfg.Ranks)
+	half := c.cfg.Ranks / 2
+	for ri := range c.chainRank {
+		switch c.cfg.Replication {
+		case ReplicationNone:
+			c.chainRank[ri] = ri
+		case ReplicationFMR, ReplicationHeteroDMR:
+			// Originals fold into the first half; the second half holds
+			// the same blocks' copies at the mirrored position.
+			if ri < half {
+				c.chainRank[ri] = ri
+			} else {
+				c.chainRank[ri] = ri - half
+			}
+		case ReplicationHeteroDMRFMR:
+			// All originals fold into rank 0 with copies in the first two
+			// ranks of the free module; every other rank is unused.
+			if ri == 0 || ri == half || ri == half+1 {
+				c.chainRank[ri] = 0
+			} else {
+				c.chainRank[ri] = -1
+			}
+		default:
+			c.chainRank[ri] = -1
+		}
+	}
+	if c.cfg.PageTimeout > 0 {
+		c.closeHeap = make([]closeEvent, 0, nb)
+		c.closeDefer = make([]closeEvent, 0, c.cfg.BanksPerRank)
+		c.closeAt = make([]int64, nb)
+	}
+	c.hotR = make([]int32, 0, nb)
+	c.hotRPos = make([]int32, nb)
+	for i := range c.hotRPos {
+		c.hotRPos[i] = -1
+	}
+}
+
+// reindexTiming refreshes the cached cross-rank timing aggregates after
+// anything that changes a rank's operating point or refresh schedule:
+// construction, auto-refresh issue, and the self-refresh / frequency
+// transitions bracketing Hetero-DMR's phases.
+func (c *Channel) reindexTiming() {
+	c.recomputeRefreshAt()
+	min := int64(0)
+	for i, r := range c.ranks {
+		if t := r.Timing().TRCD; i == 0 || t < min {
+			min = t
+		}
+	}
+	c.minTRCD = min
+}
+
+// recomputeRefreshAt re-derives the earliest refresh deadline over awake
+// ranks. Awake deadlines only move later (Refresh pushes them forward,
+// self-refreshing ranks refresh themselves and re-arm on exit), so
+// recomputing at each of those events keeps refreshAt exact.
+func (c *Channel) recomputeRefreshAt() {
+	const never = int64(1) << 62
+	at := never
+	for _, r := range c.ranks {
+		if r.InSelfRefresh() {
+			continue
+		}
+		if d := r.NextRefresh(); d < at {
+			at = d
+		}
+	}
+	c.refreshAt = at
+}
+
+// schedCloseAt records that bank gb's page timeout now expires at `at`
+// (its lastUse just advanced). At most one entry per bank lives in the
+// heap: if one is already enqueued — necessarily at an earlier-or-equal
+// deadline, since lastUse only advances — the pop reconciles against the
+// live deadline, so a second push would be redundant.
+func (c *Channel) schedCloseAt(gb int, at int64) {
+	if c.scanSched {
+		// The legacy scan never drains the heap; don't grow it.
+		return
+	}
+	if c.closeAt[gb] != 0 {
+		return
+	}
+	c.closeAt[gb] = at
+	c.closeHeap = append(c.closeHeap, closeEvent{at: at, gb: int32(gb)})
+	c.siftUp(len(c.closeHeap) - 1)
+}
+
+func (c *Channel) siftUp(i int) {
+	h := c.closeHeap
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at <= h[i].at {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (c *Channel) popClose() closeEvent {
+	h := c.closeHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	c.closeHeap = h[:n]
+	// Sift down.
+	h = c.closeHeap
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l].at < h[s].at {
+			s = l
+		}
+		if r < n && h[r].at < h[s].at {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[s], h[i] = h[i], h[s]
+		i = s
+	}
+	return top
+}
+
+// nextEventTime returns the instant the idle scheduler clock should jump
+// to: the oldest pending read arrival, i.e. the ring head (arrivals are
+// non-decreasing and reqRing.remove keeps the head slot live). The other
+// event classes — refresh deadlines, page timeouts, bank timing expiries,
+// mode boundaries — never advance the clock on their own in the pinned
+// scheduling semantics; they are evaluated lazily once the clock lands
+// here, which is what keeps the event-driven controller byte-identical
+// to the scan-based one.
+func (c *Channel) nextEventTime() int64 {
+	return c.readQ.at(c.readQ.head).Arrive
+}

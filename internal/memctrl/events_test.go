@@ -1,0 +1,88 @@
+package memctrl
+
+import (
+	"testing"
+
+	"repro/internal/dramspec"
+	"repro/internal/xrand"
+)
+
+func diffConfig(repl Replication) Config {
+	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, 800)
+	var fastPtr *dramspec.Config
+	if repl.Fast() {
+		fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, 800)
+		fastPtr = &fast
+	}
+	cfg := DefaultConfig(repl, spec, fastPtr)
+	cfg.Seed = 11
+	cfg.CopyErrorRate = 0.001
+	return cfg
+}
+
+// TestEventSchedulerEquivalence is the tentpole's differential test at
+// channel level: the event-driven scheduler (clock jumps, refresh-deadline
+// index, lazy-close heap, per-bank chains) must produce statistics and a
+// final virtual clock identical to the legacy poll-per-step scans
+// (Config.ScanScheduler), under randomized mixed traffic, for every
+// replication mode. The indexes only gate or accelerate the same
+// decisions, so any divergence is a bug.
+func TestEventSchedulerEquivalence(t *testing.T) {
+	for _, repl := range []Replication{
+		ReplicationNone, ReplicationFMR, ReplicationHeteroDMR, ReplicationHeteroDMRFMR,
+	} {
+		t.Run(repl.String(), func(t *testing.T) {
+			cfg := diffConfig(repl)
+
+			event := MustNewChannel(cfg)
+			eventStats := poolTraffic(t, event)
+
+			cfg.ScanScheduler = true
+			scan := MustNewChannel(cfg)
+			scanStats := poolTraffic(t, scan)
+
+			if eventStats != scanStats {
+				t.Errorf("event-driven stats diverge from scan-based:\nevent: %+v\nscan:  %+v",
+					eventStats, scanStats)
+			}
+			if event.Now() != scan.Now() {
+				t.Errorf("event-driven clock %d != scan-based clock %d", event.Now(), scan.Now())
+			}
+		})
+	}
+}
+
+// TestWriteQueueIndexEmptyAfterDrain pins the write-queue block index's
+// garbage collection: zero-count entries are deleted when their last
+// queued write retires, so after Drain the map is empty rather than
+// accumulating dead keys for every block ever written.
+func TestWriteQueueIndexEmptyAfterDrain(t *testing.T) {
+	for _, repl := range []Replication{ReplicationNone, ReplicationHeteroDMR} {
+		t.Run(repl.String(), func(t *testing.T) {
+			c := MustNewChannel(diffConfig(repl))
+			rng := xrand.New(5)
+			at := c.Now()
+			for i := 0; i < 4000; i++ {
+				addr := rng.Uint64n(1<<26) &^ 63
+				c.SubmitWrite(addr, at)
+				if rng.Bool(0.25) {
+					// Reads force write-mode switches so retirement runs
+					// under both modes.
+					c.Release(c.SubmitRead(rng.Uint64n(1<<26)&^63, at))
+				}
+				at += int64(rng.Intn(30)) * dramspec.Nanosecond
+			}
+			if len(c.wqBlocks) == 0 {
+				t.Fatal("no writes ever indexed; test is vacuous")
+			}
+			c.Drain()
+			if c.writeQ.len() != 0 || c.wb.len() != 0 {
+				t.Fatalf("drain left %d queued and %d parked writes",
+					c.writeQ.len(), c.wb.len())
+			}
+			if n := len(c.wqBlocks); n != 0 {
+				t.Errorf("wqBlocks holds %d entries after Drain, want 0", n)
+			}
+		})
+	}
+}

@@ -128,6 +128,15 @@ type Config struct {
 
 	// Seed drives the error-injection stream.
 	Seed uint64
+
+	// ScanScheduler selects the legacy poll-per-step scheduling paths
+	// (full refresh/page-timeout/queue scans each step) instead of the
+	// event-driven indexes. The two are behavior-identical — same Stats,
+	// same virtual clock, byte-identical outputs — and the differential
+	// tests pin that; the flag exists only for those tests and for
+	// bisecting a suspected index bug. See DESIGN.md "Event-driven
+	// scheduling".
+	ScanScheduler bool
 }
 
 // DefaultConfig returns the Table IV channel for a given replication mode
@@ -196,6 +205,15 @@ type Request struct {
 
 	rank, bank int
 	row        int64
+
+	// Intrusive per-bank chain links (see chains.go): every queued request
+	// is threaded onto its decoded (rank, bank) chain so the scheduler can
+	// consult one bank's pending requests without rescanning the ring.
+	next, prev *Request
+	// pos is the request's absolute ring position, kept current by the
+	// ring (push/compact/grow), so chain-based picks can compare FIFO
+	// order without searching the ring.
+	pos int
 
 	released bool   // caller gave the handle back; recycle at completion
 	gen      uint32 // bumped on every recycle (use-after-release detection in tests)
@@ -268,6 +286,52 @@ type Channel struct {
 	// page policy's timeout.
 	lastUse []int64
 
+	// Event-driven scheduling state (see events.go and chains.go).
+	// scanSched selects the legacy poll-per-step paths; the indexes below
+	// are maintained either way (they are cheap and keep the differential
+	// hook honest), but only consulted when scanSched is false.
+	scanSched bool
+	// lastSubmit enforces SubmitRead's documented non-decreasing-arrival
+	// contract, which is what makes the ring head the oldest pending
+	// arrival (the serveRead idle jump depends on it).
+	lastSubmit int64
+	// refreshAt caches the earliest auto-refresh deadline over awake
+	// ranks, so serviceRefresh is O(1) when nothing is due.
+	refreshAt int64
+	// closeHeap is a lazy-deletion min-heap of (deadline, bank) page-
+	// timeout expiries; closeDefer is scratch for entries whose deadline
+	// passed but whose precharge is not yet legal.
+	closeHeap  []closeEvent
+	closeDefer []closeEvent
+	// closeAt[gb] is the deadline of bank gb's entry currently in
+	// closeHeap (0 = none), capping the heap at one entry per bank; pops
+	// reconcile against the live lastUse-derived deadline.
+	closeAt []int64
+	// readChains/writeChains thread the queued requests of each decoded
+	// (rank, bank) through the request nodes themselves; rHits/wHits
+	// count, per serving bank, the queued requests whose row matches the
+	// bank's open row (rHitTotal/wHitTotal are their sums), so the
+	// row-hit passes skip the queues entirely when no hit exists.
+	readChains  []reqChain
+	writeChains []reqChain
+	rHits       []int32
+	wHits       []int32
+	rHitTotal   int
+	wHitTotal   int
+	// hotR is the dense list of serving banks with rHits > 0 (hotRPos
+	// holds each bank's index in it, -1 when absent), so the chained
+	// row-hit pass visits only banks that can produce a hit.
+	hotR    []int32
+	hotRPos []int32
+	// chainRank maps a serving rank to the decoded rank whose chain it
+	// serves (-1 for ranks no address decodes to or is replicated onto).
+	chainRank []int
+	// minTRCD is the smallest tRCD over all ranks at their current
+	// operating points: a lower bound on any projected row miss, used to
+	// stop the write projection scan early.
+	minTRCD int64
+	servBuf [3]int // scratch for ranksServing (distinct from candBuf/targBuf)
+
 	// Scratch buffers for the per-pick rank lists (see addrmap.go) and
 	// the per-transition rank sets; the returned slices alias these and
 	// are valid until the next call.
@@ -321,11 +385,14 @@ func NewChannel(cfg Config) (*Channel, error) {
 		c.wb = newWBCache(cfg.WritebackCacheBlocks, cfg.WritebackCacheWays)
 	}
 	c.lastUse = make([]int64, cfg.Ranks*cfg.BanksPerRank)
+	c.scanSched = cfg.ScanScheduler
+	c.initSchedIndexes()
 	// Replicated fast designs start in read mode at the fast point with
 	// originals parked in self-refresh.
 	if cfg.Replication.Fast() {
 		c.transitionToFast()
 	}
+	c.reindexTiming()
 	return c, nil
 }
 

@@ -40,7 +40,8 @@ func (q *reqRing) mask() int { return len(q.buf) - 1 }
 
 func (q *reqRing) at(i int) *Request { return q.buf[i&q.mask()] }
 
-// push appends r at the FIFO tail.
+// push appends r at the FIFO tail and records its absolute position in
+// r.pos (compact/grow renumber, preserving order).
 func (q *reqRing) push(r *Request) {
 	if q.tail-q.head == len(q.buf) {
 		if q.n == len(q.buf) {
@@ -50,6 +51,7 @@ func (q *reqRing) push(r *Request) {
 		}
 	}
 	q.buf[q.tail&q.mask()] = r
+	r.pos = q.tail
 	q.tail++
 	q.n++
 }
@@ -75,6 +77,7 @@ func (q *reqRing) compact() {
 	for i := q.head; i != q.tail; i++ {
 		if r := q.buf[i&q.mask()]; r != nil {
 			q.buf[w&q.mask()] = r
+			r.pos = w
 			w++
 		}
 	}
@@ -92,6 +95,7 @@ func (q *reqRing) grow() {
 	for i := q.head; i != q.tail; i++ {
 		if r := q.buf[i&q.mask()]; r != nil {
 			nb[w] = r
+			r.pos = w
 			w++
 		}
 	}

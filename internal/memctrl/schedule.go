@@ -32,6 +32,13 @@ func (c *Channel) correctionPenalty() int64 {
 // that hit the pending-write path are forwarded immediately. Arrival
 // times must be non-decreasing across Submit calls.
 func (c *Channel) SubmitRead(addr uint64, at int64) *Request {
+	if at < c.lastSubmit {
+		// The non-decreasing contract is what makes the ring head the
+		// oldest pending arrival (see nextEventTime); a violation would
+		// silently mis-schedule, so fail loudly instead.
+		panic(fmt.Sprintf("memctrl: SubmitRead arrival %d before previous %d", at, c.lastSubmit))
+	}
+	c.lastSubmit = at
 	c.consv.readsSubmitted++
 	req := c.newRequest(addr, false, at)
 	block := addr / uint64(c.cfg.BlockBytes)
@@ -54,6 +61,7 @@ func (c *Channel) SubmitRead(addr uint64, at int64) *Request {
 		}
 	}
 	c.readQ.push(req)
+	c.chainPushRead(req)
 	return req
 }
 
@@ -131,6 +139,7 @@ func (c *Channel) SubmitWrite(addr uint64, at int64) {
 // here; serveWrite un-indexes on retire.
 func (c *Channel) pushWrite(req *Request) {
 	c.writeQ.push(req)
+	c.chainPushWrite(req)
 	c.wqBlocks[req.Addr/uint64(c.cfg.BlockBytes)]++
 }
 
@@ -233,9 +242,16 @@ func (c *Channel) step() bool {
 	return true
 }
 
-// serviceRefresh issues one due auto-refresh, if any.
+// serviceRefresh issues one due auto-refresh, if any. The refreshAt index
+// makes the nothing-due case — almost every step — a single comparison;
+// when a deadline has passed, the unchanged legacy scan runs and is
+// guaranteed to find a due rank (refreshAt is the exact minimum over
+// awake ranks).
 func (c *Channel) serviceRefresh() bool {
-	for _, r := range c.ranks {
+	if !c.scanSched && c.now < c.refreshAt {
+		return false
+	}
+	for ri, r := range c.ranks {
 		if r.InSelfRefresh() || !r.RefreshDue(c.now) {
 			continue
 		}
@@ -246,17 +262,64 @@ func (c *Channel) serviceRefresh() bool {
 			// advance the channel clock past the refresh.
 			_ = end
 		}
+		c.rankRowsChanged(ri)
+		c.recomputeRefreshAt()
 		return true
 	}
+	c.recomputeRefreshAt()
 	return false
 }
 
 // lazyClose implements the hybrid page policy: rows idle beyond the
-// timeout are precharged in the background.
+// timeout are precharged in the background. The event-driven path pops
+// only the banks whose deadline actually fired from the expiry heap;
+// entries made stale by a later use, an intervening precharge, or a
+// self-refresh park are discarded on pop. Precharges on distinct banks
+// commute and each issues at the same EarliestPrecharge instant either
+// way, so the set of state changes per call is identical to the scan's.
 func (c *Channel) lazyClose() {
 	if c.cfg.PageTimeout <= 0 {
 		return
 	}
+	if c.scanSched {
+		c.lazyCloseScan()
+		return
+	}
+	for len(c.closeHeap) > 0 && c.closeHeap[0].at <= c.now {
+		e := c.popClose()
+		gb := int(e.gb)
+		c.closeAt[gb] = 0
+		ri, b := gb/c.cfg.BanksPerRank, gb%c.cfg.BanksPerRank
+		r := c.ranks[ri]
+		if r.InSelfRefresh() {
+			continue // parked; rows were precharged on entry
+		}
+		if r.Bank(b).OpenRow() == dram.RowClosed {
+			continue // already closed since this entry was scheduled
+		}
+		if d := c.lastUse[gb] + c.cfg.PageTimeout; d > c.now {
+			// Superseded by a newer use: re-arm at the live deadline.
+			c.schedCloseAt(gb, d)
+			continue
+		}
+		at := r.EarliestPrecharge(b, c.now)
+		if at > c.now {
+			// Due but not yet legal (tRAS/tRTP/tWR): keep it pending,
+			// exactly like the scan revisits it next step.
+			c.closeDefer = append(c.closeDefer, e)
+			continue
+		}
+		r.Precharge(b, at)
+		c.bankRowChanged(ri, b)
+	}
+	for _, e := range c.closeDefer {
+		c.schedCloseAt(int(e.gb), e.at)
+	}
+	c.closeDefer = c.closeDefer[:0]
+}
+
+// lazyCloseScan is the legacy full rank×bank sweep (ScanScheduler hook).
+func (c *Channel) lazyCloseScan() {
 	for ri, r := range c.ranks {
 		if r.InSelfRefresh() {
 			continue
@@ -271,14 +334,53 @@ func (c *Channel) lazyClose() {
 			at := r.EarliestPrecharge(b, c.now)
 			if at <= c.now {
 				r.Precharge(b, at)
+				c.bankRowChanged(ri, b)
 			}
 		}
 	}
 }
 
 // pickRead chooses the next read per FR-FCFS with bank fairness and
-// returns its ring position plus the chosen serving rank.
+// returns its ring position plus the chosen serving rank. The row-hit
+// pass consults the per-bank chains (skipped outright when no queued
+// request matches an open row); the oldest-first pass needs only the
+// ring head, because arrivals are non-decreasing.
 func (c *Channel) pickRead() (pos, serveRank int) {
+	if c.scanSched {
+		return c.pickReadScan()
+	}
+	if c.rHitTotal > 0 {
+		if pos, serveRank = c.pickReadChained(); pos >= 0 {
+			return pos, serveRank
+		}
+		// Every counted hit is still in flight (not yet arrived): fall
+		// through to the oldest-first pass, as the scan would.
+	}
+	i := c.readQ.head
+	req := c.readQ.at(i)
+	if req.Arrive > c.now {
+		return -1, -1 // nothing has arrived yet
+	}
+	bestRank := -1
+	var best int64
+	for _, cand := range c.readCandidateRanks(req.rank) {
+		r := c.ranks[cand]
+		if r.InSelfRefresh() {
+			continue
+		}
+		proj := r.ProjectRead(req.bank, req.row, c.now)
+		if bestRank < 0 || proj < best {
+			best, bestRank = proj, cand
+		}
+	}
+	if bestRank < 0 {
+		panic("memctrl: no serviceable rank for read (all in self-refresh?)")
+	}
+	return i, bestRank
+}
+
+// pickReadScan is the legacy double ring sweep (ScanScheduler hook).
+func (c *Channel) pickReadScan() (pos, serveRank int) {
 	// First pass: oldest arrived row-hit whose bank's hit streak is not
 	// exhausted.
 	bestRank := -1
@@ -331,21 +433,25 @@ func (c *Channel) streak(gb int) int {
 	return 0
 }
 
-// openRowFor brings (rank, bank) to the requested row, issuing PRE/ACT as
-// needed, and classifies the access. It returns the earliest column time.
-func (c *Channel) openRowFor(rank *dram.Rank, bank int, row int64) (colReady int64, kind rowOutcome) {
+// openRowFor brings rank ri's bank to the requested row, issuing PRE/ACT
+// as needed, and classifies the access. It returns the earliest column
+// time. Row changes recount the bank's row-hit counters.
+func (c *Channel) openRowFor(ri, bank int, row int64) (colReady int64, kind rowOutcome) {
+	rank := c.ranks[ri]
 	switch open := rank.Bank(bank).OpenRow(); {
 	case open == row:
 		return rank.EarliestColumn(bank, c.now), rowHit
 	case open == dram.RowClosed:
 		at := rank.EarliestActivate(bank, c.now)
 		rank.Activate(bank, row, at)
+		c.bankRowChanged(ri, bank)
 		return rank.EarliestColumn(bank, at), rowMiss
 	default:
 		pre := rank.EarliestPrecharge(bank, c.now)
 		rank.Precharge(bank, pre)
 		at := rank.EarliestActivate(bank, pre)
 		rank.Activate(bank, row, at)
+		c.bankRowChanged(ri, bank)
 		return rank.EarliestColumn(bank, at), rowConflict
 	}
 }
@@ -373,21 +479,26 @@ func (c *Channel) countOutcome(k rowOutcome) {
 func (c *Channel) serveRead() {
 	pos, serveRank := c.pickRead()
 	if pos < 0 {
-		// Nothing has arrived yet; advance to the earliest arrival.
-		earliest := int64(-1)
-		for i := c.readQ.head; i != c.readQ.tail; i++ {
-			req := c.readQ.at(i)
-			if req != nil && (earliest < 0 || req.Arrive < earliest) {
-				earliest = req.Arrive
+		// Nothing has arrived yet; jump the clock to the next event —
+		// the oldest pending arrival (the ring head; see nextEventTime).
+		if c.scanSched {
+			earliest := int64(-1)
+			for i := c.readQ.head; i != c.readQ.tail; i++ {
+				req := c.readQ.at(i)
+				if req != nil && (earliest < 0 || req.Arrive < earliest) {
+					earliest = req.Arrive
+				}
 			}
+			c.now = earliest
+			return
 		}
-		c.now = earliest
+		c.now = c.nextEventTime()
 		return
 	}
 	req := c.readQ.at(pos)
 	c.readQHist.Observe(int64(c.readQ.len()))
 	rank := c.ranks[serveRank]
-	colReady, outcome := c.openRowFor(rank, req.bank, req.row)
+	colReady, outcome := c.openRowFor(serveRank, req.bank, req.row)
 	c.countOutcome(outcome)
 
 	// The data bus must be free when the burst starts (colAt + tCL).
@@ -402,6 +513,9 @@ func (c *Channel) serveRead() {
 
 	gb := c.globalBank(serveRank, req.bank)
 	c.lastUse[gb] = colAt
+	if c.cfg.PageTimeout > 0 {
+		c.schedCloseAt(gb, colAt+c.cfg.PageTimeout)
+	}
 	if outcome == rowHit && gb == c.streakBank {
 		c.streakLen++
 	} else {
@@ -430,6 +544,7 @@ func (c *Channel) serveRead() {
 	c.stats.ReadLatencySumPS += done - req.Arrive
 	c.stats.ReadCount++
 	c.advance(colAt)
+	c.chainRemoveRead(req)
 	c.readQ.remove(pos)
 	if req.released {
 		c.recycle(req)
@@ -459,20 +574,29 @@ func (c *Channel) serveWrite() {
 	// soonest, which interleaves activates across banks instead of
 	// serializing row cycles on one bank (tFAW relief).
 	pos := -1
-	for i := c.writeQ.head; i != c.writeQ.tail; i++ {
-		w := c.writeQ.at(i)
-		if w == nil {
-			continue
-		}
-		r := c.ranks[w.rank]
-		if !r.InSelfRefresh() && r.Bank(w.bank).OpenRow() == w.row {
-			pos = i
-			break
+	// The row-hit pass is skipped outright when the wHits index says no
+	// queued write matches an open row (a non-zero count guarantees the
+	// scan below finds one, so skipping is exact).
+	if c.scanSched || c.wHitTotal > 0 {
+		for i := c.writeQ.head; i != c.writeQ.tail; i++ {
+			w := c.writeQ.at(i)
+			if w == nil {
+				continue
+			}
+			r := c.ranks[w.rank]
+			if !r.InSelfRefresh() && r.Bank(w.bank).OpenRow() == w.row {
+				pos = i
+				break
+			}
 		}
 	}
 	if pos < 0 {
 		const scanCap = 64 // bound the projection scan (oldest live entries)
 		var best int64
+		// No queued write is a row hit here, so every projection is at
+		// least now + tRCD of its rank; once the incumbent reaches that
+		// floor no later entry can beat it (projections only tie).
+		floor := c.now + c.minTRCD
 		scanned := 0
 		for i := c.writeQ.head; i != c.writeQ.tail && scanned < scanCap; i++ {
 			w := c.writeQ.at(i)
@@ -484,6 +608,9 @@ func (c *Channel) serveWrite() {
 			if pos < 0 || proj < best {
 				best, pos = proj, i
 			}
+			if !c.scanSched && best <= floor {
+				break
+			}
 		}
 	}
 	req := c.writeQ.at(pos)
@@ -493,7 +620,7 @@ func (c *Channel) serveWrite() {
 	// column command issues when all of them are ready.
 	colAt := c.now
 	for _, t := range targets {
-		ready, outcome := c.openRowFor(c.ranks[t], req.bank, req.row)
+		ready, outcome := c.openRowFor(t, req.bank, req.row)
 		if t == req.rank {
 			c.countOutcome(outcome)
 		}
@@ -510,7 +637,11 @@ func (c *Channel) serveWrite() {
 		if e > end {
 			end = e
 		}
-		c.lastUse[c.globalBank(t, req.bank)] = colAt
+		tgb := c.globalBank(t, req.bank)
+		c.lastUse[tgb] = colAt
+		if c.cfg.PageTimeout > 0 {
+			c.schedCloseAt(tgb, colAt+c.cfg.PageTimeout)
+		}
 	}
 	c.busFreeAt = end
 	c.stats.BusBusyPS += c.ranks[targets[0]].BurstPS()
@@ -521,6 +652,7 @@ func (c *Channel) serveWrite() {
 	}
 	req.Done = end + ControllerOverhead
 	c.advance(colAt)
+	c.chainRemoveWrite(req)
 	c.writeQ.remove(pos)
 	block := req.Addr / uint64(c.cfg.BlockBytes)
 	if n := c.wqBlocks[block]; n <= 1 {
@@ -619,6 +751,10 @@ func (c *Channel) transitionToSlow() {
 	c.busFreeAt = ready
 	c.fastMode = false
 	c.batchLeft = c.cfg.WriteBatch
+	// The candidate sets, refresh deadlines, and operating points all
+	// changed; rebuild the scheduling indexes.
+	c.recountAllRows()
+	c.reindexTiming()
 }
 
 // transitionToFast ends the slow phase (Fig 10): park the originals in
@@ -652,6 +788,10 @@ func (c *Channel) transitionToFast() {
 	c.busFreeAt = ready
 	c.fastMode = true
 	c.lastFastStart = ready
+	// The candidate sets, refresh deadlines, and operating points all
+	// changed; rebuild the scheduling indexes.
+	c.recountAllRows()
+	c.reindexTiming()
 }
 
 // origRanks returns the indices of ranks holding original blocks. The

@@ -79,6 +79,12 @@ type Config struct {
 	ScaleShift uint
 	Seed       uint64
 
+	// ScanScheduler runs every channel on the legacy poll-per-step
+	// scheduling paths instead of the event-driven indexes (see
+	// memctrl.Config.ScanScheduler). Differential tests use it to pin
+	// that the two produce identical results at full-node scale.
+	ScanScheduler bool
+
 	// Check enables the conservation self-checks: after the measured
 	// region the channels are drained and every component's accounting
 	// invariants are verified; failures land in Result.Violations. The
@@ -138,12 +144,33 @@ type Result struct {
 // destroy the FR-FCFS hit rate the paper's controller achieves).
 type router struct {
 	chans []*memctrl.Channel
+	// mask is len(chans)-1 when that is a power of two (it always is for
+	// the paper's 1- and 4-channel hierarchies), letting pick shift+mask
+	// instead of divide; -1 selects the generic modulo path.
+	mask int
 }
 
 // channelInterleaveBytes is the per-channel interleave granularity.
 const channelInterleaveBytes = 1024
 
+// channelInterleaveShift is log2(channelInterleaveBytes).
+const channelInterleaveShift = 10
+
+// seal freezes the channel set and precomputes the pick fast path.
+func (r *router) seal() {
+	r.mask = -1
+	if n := len(r.chans); n&(n-1) == 0 {
+		r.mask = n - 1
+	}
+}
+
 func (r *router) pick(addr uint64) *memctrl.Channel {
+	if r.mask == 0 {
+		return r.chans[0]
+	}
+	if r.mask > 0 {
+		return r.chans[(addr>>channelInterleaveShift)&uint64(r.mask)]
+	}
 	return r.chans[(addr/channelInterleaveBytes)%uint64(len(r.chans))]
 }
 
@@ -180,7 +207,12 @@ type channelCleaner struct {
 
 func newChannelCleaner(l3 *cache.Cache, r *router, owner *memctrl.Channel) *channelCleaner {
 	cc := &channelCleaner{l3: l3, r: r, owner: owner}
-	cc.match = func(addr uint64) bool { return cc.r.pick(addr) == cc.owner }
+	if len(r.chans) > 1 {
+		cc.match = func(addr uint64) bool { return cc.r.pick(addr) == cc.owner }
+	}
+	// Single channel: every block is homed here, so a nil match (match
+	// everything) selects the identical candidate set without a routing
+	// probe per dirty line.
 	return cc
 }
 
@@ -209,7 +241,7 @@ type runScratch struct {
 	cores    []*cpu.Core
 	streams  []*workload.Stream
 	l1s, l2s []*cache.Cache
-	done     []bool
+	coreHeap []int32
 	warmed   []bool
 	warmCore []cpu.Stats
 }
@@ -226,6 +258,33 @@ func boolScratch(s []bool, n int) []bool {
 		s[i] = false
 	}
 	return s
+}
+
+// coreLess orders the interleaving heap by (virtual time, core index);
+// the index tie-break reproduces the legacy scan's "first strictly
+// smaller wins" selection bit for bit.
+func coreLess(a, b int32, cores []*cpu.Core) bool {
+	ta, tb := cores[a].Now(), cores[b].Now()
+	return ta < tb || (ta == tb && a < b)
+}
+
+func coreSiftDown(h []int32, i int, cores []*cpu.Core) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && coreLess(h[l], h[s], cores) {
+			s = l
+		}
+		if r < n && coreLess(h[r], h[s], cores) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h[s], h[i] = h[i], h[s]
+		i = s
+	}
 }
 
 // objScratch returns s resized to n; callers overwrite every element.
@@ -272,6 +331,7 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 	rt := &router{chans: scr.chans[:0]}
 	for i := 0; i < cfg.H.Channels; i++ {
 		ch := memctrl.DefaultConfig(cfg.Replication, cfg.Spec, cfg.Fast)
+		ch.ScanScheduler = cfg.ScanScheduler
 		ch.CopyErrorRate = cfg.CopyErrorRate
 		ch.Seed = cfg.Seed + uint64(i)*7919
 		// The writeback cache and Hetero-DMR's write batch are sized
@@ -298,6 +358,7 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 		rt.chans = append(rt.chans, chn)
 	}
 	scr.chans = rt.chans
+	rt.seal()
 	scope := cfg.ObsScope
 	if scope == "" {
 		scope = fmt.Sprintf("%s/%s/%s/seed%d", cfg.H.Name, cfg.Replication, prof.Name, cfg.Seed)
@@ -351,34 +412,39 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 	prefillL3(l3, prof.FootprintBytes, cfg.Seed)
 
 	// Interleave cores in virtual-time order; snapshot statistics when the
-	// last core finishes its warmup.
-	scr.done = boolScratch(scr.done, len(cores))
+	// last core finishes its warmup. The next core is selected by a binary
+	// heap ordered by (Now, index); that total order matches the legacy
+	// linear scan exactly (strictly smaller virtual time wins, ties go to
+	// the lowest index), and only the root ever changes — Step advances the
+	// root's clock and Finish retires it — so each iteration is one
+	// sift-down instead of an O(cores) sweep.
 	scr.warmed = boolScratch(scr.warmed, len(cores))
-	done, warmed := scr.done, scr.warmed
-	remaining := len(cores)
+	warmed := scr.warmed
+	h := objScratch(scr.coreHeap, len(cores))
+	scr.coreHeap = h
+	for i := range h {
+		h[i] = int32(i)
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		coreSiftDown(h, i, cores)
+	}
 	warmLeft := len(cores)
 	var warmEndPS int64
 	warmCore := scr.warmCore[:0]
 	var warmMem memctrl.Stats
 	var warmActs uint64
-	for remaining > 0 {
-		min := -1
-		for i, c := range cores {
-			if done[i] {
-				continue
-			}
-			if min < 0 || c.Now() < cores[min].Now() {
-				min = i
-			}
-		}
+	for len(h) > 0 {
+		min := int(h[0])
 		ev, ok := streams[min].Next()
 		if !ok {
 			cores[min].Finish()
-			done[min] = true
-			remaining--
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			coreSiftDown(h, 0, cores)
 			continue
 		}
 		cores[min].Step(ev)
+		coreSiftDown(h, 0, cores)
 		if warmLeft > 0 && !warmed[min] &&
 			cores[min].Stats().Instructions >= cfg.WarmupInstructions {
 			warmed[min] = true

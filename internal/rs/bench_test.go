@@ -26,3 +26,23 @@ func BenchmarkRSDetect(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRSDetectGeneric is the byte-wise Horner reference on the same
+// geometry, kept as the baseline the word-parallel sweep is measured
+// against (and pinned equal to by FuzzDetectWordEquivalence).
+func BenchmarkRSDetectGeneric(b *testing.B) {
+	c := MustNew(72, 8)
+	data := make([]byte, 72)
+	r := xrand.New(1)
+	for i := range data {
+		data[i] = byte(r.Uint64())
+	}
+	cw := c.Encode(data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.detectPartsGeneric(cw, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

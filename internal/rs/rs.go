@@ -18,6 +18,7 @@
 package rs
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -38,6 +39,16 @@ type Code struct {
 	//   genRows[j][v] == v * gen[p-1-j] (encoder long-division step)
 	synRows [][256]byte
 	genRows [][256]byte
+
+	// chunkRows power the word-parallel syndrome sweep: consuming eight
+	// codeword bytes b0..b7 at once turns eight dependent Horner steps
+	//   acc = row[acc] ^ b
+	// into one data-parallel combination
+	//   acc' = acc*a^8i ^ b0*a^7i ^ b1*a^6i ^ ... ^ b6*a^i ^ b7
+	// whose lookups are independent of each other.
+	//   chunkRows[i][m-1][v] == v * alpha^(i*m)   (m = 1..8, i >= 1)
+	// Syndrome 0 needs no tables (alpha^0 = 1 makes it a plain parity).
+	chunkRows [][8][256]byte
 }
 
 // Errors returned by the decoders.
@@ -67,6 +78,12 @@ func New(k, p int) (*Code, error) {
 	for i := 0; i < p; i++ {
 		c.synRows[i] = gf256.MulTable(gf256.Exp(i))
 		c.genRows[i] = gf256.MulTable(gen[p-1-i])
+	}
+	c.chunkRows = make([][8][256]byte, p)
+	for i := 1; i < p; i++ {
+		for m := 1; m <= 8; m++ {
+			c.chunkRows[i][m-1] = gf256.MulTable(gf256.Exp((i * m) % 255))
+		}
 	}
 	return c, nil
 }
@@ -181,7 +198,74 @@ func (c *Code) Detect(cw []byte) error {
 // buffers — like the ECC layer's (data, address, parity) split — run the
 // syndrome check without assembling a contiguous codeword. It panics
 // unless the pieces' lengths sum to k+p.
+//
+// The sweep is word-parallel: syndrome 0 is a plain parity folded eight
+// bytes at a time with uint64 XORs, and each later syndrome consumes
+// eight-byte chunks through the precomputed chunkRows. Both rearrange the
+// exact field operations of the byte-wise Horner scan (kept as
+// detectPartsGeneric, and pinned equal by a fuzz target), so the result
+// is bit-identical, including which syndrome triggers the early return.
 func (c *Code) DetectParts(p0, p1, p2 []byte) error {
+	if len(p0)+len(p1)+len(p2) != c.k+c.p {
+		panic(fmt.Sprintf("rs: DetectParts with %d bytes, want %d",
+			len(p0)+len(p1)+len(p2), c.k+c.p))
+	}
+	x := xorFold(p2, xorFold(p1, xorFold(p0, 0)))
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	if byte(x) != 0 {
+		return ErrDetected
+	}
+	for i := 1; i < c.p; i++ {
+		rows := &c.chunkRows[i]
+		srow := &c.synRows[i]
+		acc := synSweep(rows, srow, p0, 0)
+		acc = synSweep(rows, srow, p1, acc)
+		acc = synSweep(rows, srow, p2, acc)
+		if acc != 0 {
+			return ErrDetected
+		}
+	}
+	return nil
+}
+
+// xorFold XORs pc into the running syndrome-0 accumulator a word at a
+// time (trailing bytes land in the low lanes; XOR commutes, so lane
+// placement is irrelevant once the caller folds the word to one byte).
+func xorFold(pc []byte, x uint64) uint64 {
+	j := 0
+	for ; j+8 <= len(pc); j += 8 {
+		x ^= binary.LittleEndian.Uint64(pc[j:])
+	}
+	var b byte
+	for ; j < len(pc); j++ {
+		b ^= pc[j]
+	}
+	return x ^ uint64(b)
+}
+
+// synSweep advances syndrome accumulator acc across pc: eight bytes per
+// step through the chunk tables (rows[m-1] multiplies by alpha^(i*m)),
+// byte-wise through srow for the remainder. Exactly equal to eight
+// byte-wise Horner steps by linearity of the field multiply.
+func synSweep(rows *[8][256]byte, srow *[256]byte, pc []byte, acc byte) byte {
+	j := 0
+	for ; j+8 <= len(pc); j += 8 {
+		ck := pc[j : j+8 : j+8]
+		acc = rows[7][acc] ^ rows[6][ck[0]] ^ rows[5][ck[1]] ^ rows[4][ck[2]] ^
+			rows[3][ck[3]] ^ rows[2][ck[4]] ^ rows[1][ck[5]] ^ rows[0][ck[6]] ^ ck[7]
+	}
+	for ; j < len(pc); j++ {
+		acc = srow[acc] ^ pc[j]
+	}
+	return acc
+}
+
+// detectPartsGeneric is the byte-wise reference implementation of
+// DetectParts: one dependent Horner step per byte. The fuzz suite pins
+// DetectParts to it; it is not used on any hot path.
+func (c *Code) detectPartsGeneric(p0, p1, p2 []byte) error {
 	if len(p0)+len(p1)+len(p2) != c.k+c.p {
 		panic(fmt.Sprintf("rs: DetectParts with %d bytes, want %d",
 			len(p0)+len(p1)+len(p2), c.k+c.p))
