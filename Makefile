@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race lint fmt vet analyze fuzz check bench bench-compare bench-smoke ci
+.PHONY: all build test race lint fmt vet analyze alloc-gate fuzz check bench bench-compare bench-smoke ci
 
 all: build test lint
 
@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 # lint is the full static-analysis gate CI runs: formatting, vet, and the
-# determinism lint suite (see "Static analysis" in README.md).
+# seven-analyzer lint suite (see "Static analysis" in README.md).
 lint: fmt vet analyze
 
 fmt:
@@ -26,8 +26,30 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# analyze runs all seven analyzers (determinism + lifetime/units) with the
+# committed baseline: grandfathered findings are report-only, anything new
+# fails, and //lint:allow directives that justify nothing or suppress
+# nothing fail too.
 analyze:
-	$(GO) run ./cmd/analyze ./...
+	$(GO) run ./cmd/analyze -baseline analyze_baseline.json ./...
+
+# alloc-gate pins the hot-path allocation contract: the steady-state
+# micro-benchmarks must report exactly 0 allocs/op. The $$-anchors keep
+# the legacy twins (BenchmarkRSDetectGeneric, BenchmarkChannelScan...)
+# out of the gate — only the production paths are held to zero.
+alloc-gate:
+	@fail=0; \
+	for spec in "internal/memctrl BenchmarkChannelReadStream" \
+	            "internal/heterodmr BenchmarkHeteroDMRReadMode" \
+	            "internal/rs BenchmarkRSDetect"; do \
+		set -- $$spec; \
+		out=$$($(GO) test -run '^$$' -bench "$$2"'$$' -benchmem "./$$1") || { echo "$$out"; exit 1; }; \
+		echo "$$out"; \
+		echo "$$out" | awk -v bench="$$2" ' \
+			/allocs\/op/ { n++; if ($$(NF-1)+0 != 0) { print "alloc-gate: " $$1 " reports " $$(NF-1) " allocs/op; want 0"; bad=1 } } \
+			END { if (n == 0) { print "alloc-gate: no benchmark matched " bench; bad=1 } exit bad }' || fail=1; \
+	done; \
+	exit $$fail
 
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzGF256MulInverse -fuzztime $(FUZZTIME) ./internal/gf256
@@ -66,4 +88,4 @@ bench-smoke:
 check:
 	$(GO) run ./cmd/heterodmr -all -quick -check > /dev/null
 
-ci: build test race lint fuzz check
+ci: build test race lint alloc-gate fuzz check

@@ -26,6 +26,12 @@ const ClockPS = 323
 // IssueWidth is the core's sustained non-memory retire width.
 const IssueWidth = 4
 
+// CyclesToPS converts a core-cycle count to picoseconds. All cycle→time
+// conversions in the core and node models route through this helper: the
+// unitflow analyzer (internal/lint) treats *PS-named helpers as the only
+// places a cycle-denominated quantity may meet a picosecond one.
+func CyclesToPS(cycles int64) int64 { return cycles * ClockPS }
+
 // Memory is the core's view of the memory system (routing across channels
 // is the node's concern).
 type Memory interface {
@@ -125,7 +131,9 @@ func (c *Core) Stats() Stats { return c.stats }
 func (c *Core) Step(ev workload.Event) {
 	switch ev.Kind {
 	case workload.Compute:
-		d := ev.Instr * ClockPS / IssueWidth
+		// Instructions retire IssueWidth per cycle; multiply before the
+		// divide so partial issue groups round exactly as they always have.
+		d := CyclesToPS(ev.Instr) / IssueWidth
 		c.t += d
 		c.stats.ComputePS += d
 		c.stats.Instructions += ev.Instr

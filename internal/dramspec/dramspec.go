@@ -163,6 +163,14 @@ type Config struct {
 	Timing Timing
 }
 
+// BurstPS returns the data-bus occupancy of one burst at this operating
+// point (BL/2 clocks). Burst lengths are transfer counts, not durations;
+// this helper is the sanctioned cycle→picosecond conversion (the unitflow
+// analyzer requires such mixing to happen inside *PS-named helpers).
+func (c Config) BurstPS() int64 {
+	return int64(c.Timing.BurstLength/2) * c.Rate.ClockPS()
+}
+
 // TableII returns the operating point for a setting, given the module's
 // specified rate and its frequency margin in MT/s. The frequency-margin
 // settings clamp at the platform cap, mirroring the testbed.

@@ -1,6 +1,9 @@
-// Package lint is the determinism lint suite: four static analyzers that
+// Package lint is the static-analysis suite: seven analyzers that
 // mechanically enforce the repository's byte-identical-output contract
-// (DESIGN.md "Determinism contract").
+// and the lifetime/unit rules of its manually managed hot path (DESIGN.md
+// "Determinism contract" and "Lifetime & units analysis").
+//
+// The determinism analyzers:
 //
 //   - detrand: no math/rand and no time-seeded RNG construction outside
 //     internal/xrand — all randomness flows from explicit xrand seeds.
@@ -14,11 +17,26 @@
 //     derived positionally (xrand.NewAt/SplitMix), never from a
 //     loop-carried generator (xrand.New of a stream draw, Rand.Split).
 //
-// All four analyzers skip _test.go files: test code runs sequentially
-// under `go test` (and the race detector covers its goroutines), so the
-// output contract only binds non-test code. A finding is suppressed by a
-// `//lint:allow <analyzer>` comment on the same line or the line above,
-// with a justification after the analyzer name.
+// The lifetime and unit analyzers:
+//
+//   - poolsafe: pooled request handles may not be used after Release,
+//     parked in state outliving their run scope (package-level variables,
+//     sync.Pool scratch), or leaked through intrusive chain links; arena
+//     backed objects may not escape the arena's Reset boundary.
+//   - unitflow: picosecond quantities and cycle counts may not meet in
+//     additive arithmetic, and may meet multiplicatively only inside a
+//     *PS-named conversion helper.
+//   - scanparity: every dual-path hook (ScanScheduler, noPool) must be
+//     referenced from an in-package test, or the legacy path it selects
+//     has no live differential oracle.
+//
+// All analyzers skip _test.go files (scanparity reads them as evidence):
+// test code runs sequentially under `go test` (and the race detector
+// covers its goroutines), so the contracts bind non-test code. A finding
+// is suppressed by a `//lint:allow <analyzer> <justification>` comment on
+// the same line or the line above; the justification is mandatory — a
+// bare directive suppresses nothing, and `cmd/analyze` audits directives
+// that justify nothing or suppress nothing.
 package lint
 
 import (
@@ -29,9 +47,10 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// All returns the determinism suite in stable order.
+// All returns the full suite in stable (alphabetical) order; cmd/analyze
+// -list and the CI multichecker both rely on this ordering.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{DetRand, MapOrder, SharedWrite, SeedFlow}
+	return []*analysis.Analyzer{DetRand, MapOrder, PoolSafe, ScanParity, SeedFlow, SharedWrite, UnitFlow}
 }
 
 // ByName returns the analyzer with the given name, or nil.

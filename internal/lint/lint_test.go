@@ -41,6 +41,27 @@ func TestSharedWrite(t *testing.T) {
 	}
 }
 
+func TestPoolSafe(t *testing.T) {
+	findings := analysistest.Run(t, analysistest.TestData(), lint.PoolSafe, "poolsafe")
+	if len(findings) == 0 {
+		t.Fatal("poolsafe fixture produced no findings")
+	}
+}
+
+func TestUnitFlow(t *testing.T) {
+	findings := analysistest.Run(t, analysistest.TestData(), lint.UnitFlow, "unitflow")
+	if len(findings) == 0 {
+		t.Fatal("unitflow fixture produced no findings")
+	}
+}
+
+func TestScanParity(t *testing.T) {
+	findings := analysistest.Run(t, analysistest.TestData(), lint.ScanParity, "scanparity")
+	if len(findings) == 0 {
+		t.Fatal("scanparity fixture produced no findings")
+	}
+}
+
 func TestSeedFlow(t *testing.T) {
 	findings := analysistest.Run(t, analysistest.TestData(), lint.SeedFlow, "seedflow")
 	if len(findings) == 0 {
@@ -50,7 +71,7 @@ func TestSeedFlow(t *testing.T) {
 
 // TestSuiteComplete pins the suite composition the docs and CI reference.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"detrand", "maporder", "sharedwrite", "seedflow"}
+	want := []string{"detrand", "maporder", "poolsafe", "scanparity", "seedflow", "sharedwrite", "unitflow"}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(all), len(want))

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/lint/analysis"
@@ -81,21 +82,25 @@ func TestWalkSkipsTestdata(t *testing.T) {
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		text string
-		want []string
+		text      string
+		want      []string
+		justified bool
 	}{
-		{"//lint:allow detrand", []string{"detrand"}},
-		{"// lint:allow maporder integer sums are commutative", []string{"maporder"}},
-		{"//lint:allow detrand,seedflow reason", []string{"detrand", "seedflow"}},
-		{"//lint:allow", nil},
-		{"// regular comment", nil},
-		{"//lint:allowx detrand", nil},
+		{"//lint:allow detrand", []string{"detrand"}, false},
+		{"// lint:allow maporder integer sums are commutative", []string{"maporder"}, true},
+		{"//lint:allow detrand,seedflow reason", []string{"detrand", "seedflow"}, true},
+		{"//lint:allow", nil, false},
+		{"// regular comment", nil, false},
+		{"//lint:allowx detrand", nil, false},
 	}
 	for _, c := range cases {
-		names, ok := parseAllow(&ast.Comment{Text: c.text})
+		names, justified, ok := parseAllow(&ast.Comment{Text: c.text})
 		if (len(c.want) > 0) != ok {
 			t.Errorf("parseAllow(%q) ok = %v", c.text, ok)
 			continue
+		}
+		if justified != c.justified {
+			t.Errorf("parseAllow(%q) justified = %v, want %v", c.text, justified, c.justified)
 		}
 		if len(names) != len(c.want) {
 			t.Errorf("parseAllow(%q) = %v, want %v", c.text, names, c.want)
@@ -152,6 +157,63 @@ func TestSuppression(t *testing.T) {
 	}
 }
 
+// TestRunAnalyzersAudited pins the suppression-hygiene contract: a
+// justified directive absorbs its finding (surfaced as suppressed), a
+// bare directive suppresses nothing and is itself an audit finding, and
+// a justified directive covering nothing is reported stale.
+func TestRunAnalyzersAudited(t *testing.T) {
+	l, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("testdata/allowaudit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "flags every call to probeTarget",
+		Run: func(pass *analysis.Pass) (interface{}, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probeTarget" {
+							pass.Reportf(call.Pos(), "probe finding")
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+	findings, suppressed, audit, err := RunAnalyzersAudited(pkgs, []*analysis.Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the bare-directive one", findings)
+	}
+	if len(suppressed) != 1 || !suppressed[0].Suppressed {
+		t.Fatalf("suppressed = %v, want exactly the justified-directive one, marked", suppressed)
+	}
+	var unjustified, stale int
+	for _, f := range audit {
+		if f.Analyzer != AuditName {
+			t.Errorf("audit finding under %q, want %q", f.Analyzer, AuditName)
+		}
+		switch {
+		case strings.Contains(f.Message, "no justification"):
+			unjustified++
+		case strings.Contains(f.Message, "suppresses no finding"):
+			stale++
+		}
+	}
+	if unjustified != 1 || stale != 1 {
+		t.Fatalf("audit = %v, want one unjustified and one stale directive", audit)
+	}
+}
+
 // allowedRangeLine locates the line of the range statement directly
 // below the fixture's //lint:allow comment.
 func allowedRangeLine(t *testing.T, p *Package) int {
@@ -159,7 +221,7 @@ func allowedRangeLine(t *testing.T, p *Package) int {
 	for _, file := range p.Files {
 		for _, g := range file.Comments {
 			for _, c := range g.List {
-				if _, ok := parseAllow(c); ok {
+				if _, _, ok := parseAllow(c); ok {
 					return p.Fset.Position(c.Pos()).Line + 1
 				}
 			}

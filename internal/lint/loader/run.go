@@ -11,29 +11,52 @@ import (
 )
 
 // Finding is one resolved diagnostic: an analyzer name, a concrete file
-// position, and the message.
+// position, and the message. Suppressed is true for diagnostics that a
+// justified //lint:allow directive absorbed (only surfaced by
+// RunAnalyzersAudited; RunAnalyzers drops them).
 type Finding struct {
-	Analyzer string         `json:"analyzer"`
-	Pos      token.Position `json:"-"`
-	File     string         `json:"file"`
-	Line     int            `json:"line"`
-	Column   int            `json:"column"`
-	Message  string         `json:"message"`
+	Analyzer   string         `json:"analyzer"`
+	Pos        token.Position `json:"-"`
+	File       string         `json:"file"`
+	Line       int            `json:"line"`
+	Column     int            `json:"column"`
+	Message    string         `json:"message"`
+	Suppressed bool           `json:"suppressed,omitempty"`
 }
 
 func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
 }
 
+// AuditName is the pseudo-analyzer name under which suppression-hygiene
+// findings (unjustified or dead //lint:allow directives) are reported.
+const AuditName = "allowaudit"
+
 // RunAnalyzers applies every analyzer to every package, resolves
 // positions, drops diagnostics suppressed by //lint:allow comments, and
-// returns the remaining findings sorted by position. A //lint:allow
-// comment suppresses the named analyzers (comma-separated list, first
-// field; any trailing text is a free-form justification) on its own line
-// and on the line directly below it, so both trailing comments and
-// whole-line comments above the flagged statement work.
+// returns the remaining findings sorted by position.
+//
+// A //lint:allow comment suppresses the named analyzers (comma-separated
+// list, first field) on its own line and on the line directly below it,
+// so both trailing comments and whole-line comments above the flagged
+// statement work — but only when a justification follows the analyzer
+// names. A bare `//lint:allow detrand` suppresses nothing: every
+// suppression in the tree must say why it is sound.
 func RunAnalyzers(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	var out []Finding
+	findings, _, _, err := RunAnalyzersAudited(pkgs, analyzers)
+	return findings, err
+}
+
+// RunAnalyzersAudited is RunAnalyzers plus suppression hygiene: it also
+// returns the findings that //lint:allow directives absorbed (marked
+// Suppressed, for `analyze -show-suppressed`) and audit findings for
+// directives that are unjustified or suppress nothing. Directives naming
+// only analyzers outside this run are left unjudged.
+func RunAnalyzersAudited(pkgs []*Package, analyzers []*analysis.Analyzer) (findings, suppressed, audit []Finding, err error) {
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
 	seen := map[string]bool{}
 	for _, pkg := range pkgs {
 		allow := allowIndex(pkg)
@@ -47,24 +70,35 @@ func RunAnalyzers(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, e
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
-				if allow.suppressed(a.Name, pos) {
-					return
-				}
 				f := Finding{
 					Analyzer: a.Name, Pos: pos, Message: d.Message,
 					File: pos.Filename, Line: pos.Line, Column: pos.Column,
 				}
 				key := f.String()
-				if !seen[key] {
-					seen[key] = true
-					out = append(out, f)
+				if seen[key] {
+					return
 				}
+				seen[key] = true
+				if allow.suppresses(a.Name, pos) {
+					f.Suppressed = true
+					suppressed = append(suppressed, f)
+					return
+				}
+				findings = append(findings, f)
 			}
 			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		audit = append(audit, allow.audit(running)...)
 	}
+	sortFindings(findings)
+	sortFindings(suppressed)
+	sortFindings(audit)
+	return findings, suppressed, audit, nil
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -78,73 +112,133 @@ func RunAnalyzers(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Finding, e
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }
 
-// allowSet records, per file and line, which analyzers a //lint:allow
-// comment names ("*" allows all).
-type allowSet map[string]map[int]map[string]bool
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos       token.Position
+	names     []string
+	justified bool
+	used      bool // absorbed at least one diagnostic this run
+}
 
-func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	for _, line := range [2]int{pos.Line, pos.Line - 1} {
-		if names := lines[line]; names != nil && (names[analyzer] || names["*"]) {
+func (d *allowDirective) covers(analyzer string) bool {
+	for _, n := range d.names {
+		if n == analyzer || n == "*" {
 			return true
 		}
 	}
 	return false
 }
 
-func allowIndex(pkg *Package) allowSet {
-	s := allowSet{}
+// allowSet indexes every directive of one package by file and line.
+type allowSet struct {
+	byLine map[string]map[int][]*allowDirective
+	all    []*allowDirective
+}
+
+// suppresses reports whether a justified directive on pos's line or the
+// line above covers the analyzer, marking the directive used.
+func (s *allowSet) suppresses(analyzer string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	hit := false
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.justified && d.covers(analyzer) {
+				d.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// audit reports the directives that are not pulling their weight: ones
+// with no justification (which therefore suppress nothing) and justified
+// ones that absorbed no diagnostic from the analyzers that ran. A
+// directive naming only analyzers outside the run is skipped — this run
+// cannot judge it.
+func (s *allowSet) audit(running map[string]bool) []Finding {
+	var out []Finding
+	for _, d := range s.all {
+		judged := false
+		for _, n := range d.names {
+			if n == "*" || running[n] {
+				judged = true
+				break
+			}
+		}
+		if !judged {
+			continue
+		}
+		f := Finding{
+			Analyzer: AuditName, Pos: d.pos,
+			File: d.pos.Filename, Line: d.pos.Line, Column: d.pos.Column,
+		}
+		switch {
+		case !d.justified:
+			f.Message = fmt.Sprintf(
+				"//lint:allow %s has no justification; unjustified directives suppress nothing — say why the finding is sound",
+				strings.Join(d.names, ","))
+		case !d.used:
+			f.Message = fmt.Sprintf(
+				"//lint:allow %s suppresses no finding; delete the stale directive",
+				strings.Join(d.names, ","))
+		default:
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func allowIndex(pkg *Package) *allowSet {
+	s := &allowSet{byLine: map[string]map[int][]*allowDirective{}}
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
-				names, ok := parseAllow(c)
+				names, justified, ok := parseAllow(c)
 				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				lines := s[pos.Filename]
+				d := &allowDirective{pos: pos, names: names, justified: justified}
+				lines := s.byLine[pos.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
-					s[pos.Filename] = lines
+					lines = map[int][]*allowDirective{}
+					s.byLine[pos.Filename] = lines
 				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = map[string]bool{}
-					lines[pos.Line] = set
-				}
-				for _, n := range names {
-					set[n] = true
-				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+				s.all = append(s.all, d)
 			}
 		}
 	}
 	return s
 }
 
-func parseAllow(c *ast.Comment) ([]string, bool) {
+// parseAllow parses a //lint:allow directive: the first field is the
+// comma-separated analyzer list, everything after it is the free-form
+// justification. justified is false when that trailing text is missing.
+func parseAllow(c *ast.Comment) (names []string, justified, ok bool) {
 	text, ok := strings.CutPrefix(c.Text, "//")
 	if !ok {
-		return nil, false
+		return nil, false, false
 	}
 	text, ok = strings.CutPrefix(strings.TrimSpace(text), "lint:allow")
 	if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
-		return nil, false
+		return nil, false, false
 	}
 	fields := strings.Fields(text)
 	if len(fields) == 0 {
-		return nil, false
+		return nil, false, false
 	}
-	var names []string
 	for _, n := range strings.Split(fields[0], ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
 	}
-	return names, len(names) > 0
+	return names, len(fields) > 1, len(names) > 0
 }

@@ -1,0 +1,20 @@
+// Fixture for suppression-hygiene auditing (TestRunAnalyzersAudited):
+// one justified directive that absorbs a probe finding, one bare
+// directive (which must suppress nothing), and one stale justified
+// directive covering a line the probe never flags.
+package allowaudit
+
+func live() {
+	//lint:allow probe justified and absorbing the probe finding below
+	probeTarget()
+}
+
+func bare() {
+	//lint:allow probe
+	probeTarget()
+}
+
+//lint:allow probe stale: nothing on the next line is flagged
+func idle() {}
+
+func probeTarget() {}

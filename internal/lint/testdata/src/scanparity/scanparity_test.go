@@ -1,0 +1,13 @@
+package scanparity
+
+import "testing"
+
+// TestSchedulerDifferential is the in-package reference that proves the
+// ScanScheduler dual path has a live oracle.
+func TestSchedulerDifferential(t *testing.T) {
+	legacy := run(Config{ScanScheduler: true})
+	fast := run(Config{})
+	if legacy == fast {
+		t.Fatal("paths indistinguishable")
+	}
+}

@@ -1,0 +1,97 @@
+// Fixture for the unitflow analyzer: picosecond quantities (now, *PS,
+// Timing T* fields) and cycle quantities (BurstLength, *Instr, *Cycles)
+// must not meet in additive arithmetic, and may meet multiplicatively
+// only inside *PS-named conversion helpers.
+package unitflow
+
+// Timing mirrors the shape of dramspec.Timing: T*-named fields are
+// picoseconds, BurstLength is transfers.
+type Timing struct {
+	TRCD        int64
+	TCL         int64
+	BurstLength int
+}
+
+// clockPS is the core clock period in picoseconds.
+const clockPS int64 = 323
+
+// --- additive and comparison mixing (always wrong) ---------------------
+
+func badAdd(now, stallCycles int64) int64 {
+	return now + stallCycles // want `mixes picosecond and cycle quantities`
+}
+
+func badCompare(deadlinePS, retiredInstr int64) bool {
+	return deadlinePS < retiredInstr // want `mixes picosecond and cycle quantities`
+}
+
+func badCompound(execPS, retiredInstr int64) int64 {
+	execPS += retiredInstr // want `mixes picosecond and cycle quantities`
+	return execPS
+}
+
+func badBurstAdd(t Timing, now int64) int64 {
+	return now + int64(t.BurstLength) // want `mixes picosecond and cycle quantities`
+}
+
+// badPropagated shows flow through a local: pending inherits the cycle
+// domain from its initializer.
+func badPropagated(retiredInstr, now int64) int64 {
+	pending := retiredInstr
+	return now - pending // want `mixes picosecond and cycle quantities`
+}
+
+// --- conversion outside an anchor --------------------------------------
+
+func badConvert(stallCycles int64) int64 {
+	return stallCycles * clockPS // want `conversion .* outside a \*PS-named helper`
+}
+
+// badStore puns a cycle count into a picosecond-denominated field.
+type metrics struct {
+	ExecPS int64
+}
+
+func badStore(m *metrics, stallCycles int64) {
+	m.ExecPS = stallCycles // want `storing a cycle quantity into picosecond-denominated ExecPS`
+}
+
+// --- sanctioned idioms --------------------------------------------------
+
+// stallPS is the anchor: a *PS-named helper is the one place the two
+// domains may meet multiplicatively.
+func stallPS(stallCycles int64) int64 {
+	return stallCycles * clockPS
+}
+
+// burstPS converts BL/2 transfers to bus occupancy, anchored.
+func burstPS(t Timing) int64 {
+	return int64(t.BurstLength/2) * clockPS
+}
+
+// goodConverted routes the cycle count through the helper before adding.
+func goodConverted(now, stallCycles int64) int64 {
+	return now + stallPS(stallCycles)
+}
+
+// goodTiming adds two picosecond quantities (Timing T* fields classify
+// as time).
+func goodTiming(t Timing, now int64) int64 {
+	return now + t.TRCD + t.TCL
+}
+
+// goodRatio divides like by like; the result is dimensionless.
+func goodRatio(execPS, totalPS int64) float64 {
+	return float64(execPS) / float64(totalPS)
+}
+
+// goodScalar scales a picosecond quantity by a unitless literal.
+func goodScalar(now int64) int64 {
+	return 4*clockPS + now - 2
+}
+
+// allowedLegacy shows the justified suppression escape hatch.
+func allowedLegacy(now, stallCycles int64) int64 {
+	//lint:allow unitflow legacy trace format stores cycles in the time column
+	return now + stallCycles
+}

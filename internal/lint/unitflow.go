@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// UnitFlow tracks the two integer unit domains the simulator mixes at
+// its peril: picoseconds (the global timebase — `now`, every *PS field
+// and helper, the dramspec timing constants and T* fields) and cycle
+// counts (BurstLength transfers, instruction counts, *Cycles locals).
+// Both are bare int64, so the compiler cannot tell a timestamp from a
+// transfer count; this analyzer can:
+//
+//   - adding, subtracting, or comparing a picosecond quantity against a
+//     cycle count is always wrong — there is no unit in which the result
+//     makes sense;
+//   - multiplying or dividing across the domains is how conversion
+//     happens, and is legal only inside a *PS-named helper
+//     (cpu.CyclesToPS, dramspec.Config.BurstPS, dram.Rank.BurstPS, …) so
+//     every conversion site is greppable and auditable;
+//   - assigning a classified quantity into a variable named for the
+//     other domain is flagged as a unit-punning store.
+//
+// Classification is purely name- and shape-based (suffix PS / Latency /
+// Cycles / Instr, the literal `now`, T*-named fields of a Timing struct,
+// calls whose callee ends in PS) and propagates through locals,
+// conversions, parentheses, and unary minus.
+var UnitFlow = &analysis.Analyzer{
+	Name: "unitflow",
+	Doc: `flag arithmetic that mixes picosecond and cycle quantities outside *PS helpers
+
+Everything on the simulated timeline is int64 picoseconds; burst lengths
+and instruction counts are int64 cycles. The compiler cannot tell them
+apart, so this analyzer classifies quantities by name (suffix PS, now,
+Timing T* fields vs BurstLength, *Instr, *Cycles) and flags additive or
+comparison mixing anywhere, and multiplicative conversion outside a
+helper whose name ends in PS.`,
+	Run: runUnitFlow,
+}
+
+type unitClass int
+
+const (
+	unitUnknown unitClass = iota
+	unitPS
+	unitCycles
+)
+
+func (u unitClass) String() string {
+	switch u {
+	case unitPS:
+		return "picosecond"
+	case unitCycles:
+		return "cycle"
+	}
+	return "unknown"
+}
+
+// classifyUnitName assigns a unit domain to a bare name by the
+// repository's naming conventions.
+func classifyUnitName(name string) unitClass {
+	switch {
+	case name == "now",
+		strings.HasSuffix(name, "PS"),
+		strings.HasSuffix(name, "Latency"),
+		name == "Nanosecond", name == "Microsecond",
+		name == "Millisecond", name == "Second",
+		name == "ReadWriteTurnaround":
+		return unitPS
+	case strings.HasSuffix(strings.ToLower(name), "cycles"),
+		name == "BurstLength",
+		strings.HasSuffix(name, "Instr"),
+		strings.HasSuffix(name, "Instructions"):
+		return unitCycles
+	}
+	return unitUnknown
+}
+
+// isTimingField reports whether sel reads a T*-named field of a struct
+// type named Timing (dramspec.Timing and fixture copies): the JEDEC
+// timing parameters, all picoseconds.
+func isTimingField(info *types.Info, sel *ast.SelectorExpr) bool {
+	n := sel.Sel.Name
+	if len(n) < 2 || n[0] != 'T' || n[1] < 'A' || n[1] > 'Z' {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Timing"
+}
+
+// unitFlowState carries the per-function classification context.
+type unitFlowState struct {
+	pass *analysis.Pass
+	// vars holds classifications propagated into locals by assignment.
+	vars map[types.Object]unitClass
+	// anchored is true inside a *PS-named function, where multiplicative
+	// cross-domain conversion is sanctioned.
+	anchored bool
+}
+
+// classify resolves the unit domain of an expression.
+func (s *unitFlowState) classify(e ast.Expr) unitClass {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := s.pass.TypesInfo.Uses[e]; obj != nil {
+			if c, ok := s.vars[obj]; ok {
+				return c
+			}
+		}
+		return classifyUnitName(e.Name)
+	case *ast.SelectorExpr:
+		if c := classifyUnitName(e.Sel.Name); c != unitUnknown {
+			return c
+		}
+		if isTimingField(s.pass.TypesInfo, e) {
+			return unitPS
+		}
+		return unitUnknown
+	case *ast.ParenExpr:
+		return s.classify(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return s.classify(e.X)
+		}
+		return unitUnknown
+	case *ast.IndexExpr:
+		return s.classify(e.X)
+	case *ast.CallExpr:
+		// A conversion (int64(x), float64(x)) preserves the unit domain.
+		if tv, ok := s.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return s.classify(e.Args[0])
+		}
+		base := calleeBaseName(e.Fun)
+		if strings.HasSuffix(base, "PS") || strings.HasSuffix(base, "Latency") {
+			return unitPS
+		}
+		return unitUnknown
+	case *ast.BinaryExpr:
+		return s.classifyBinary(e)
+	}
+	return unitUnknown
+}
+
+// isFloatLit reports whether e is a floating-point literal (possibly
+// parenthesized). Scaling by a float literal (seconds := ps * 1e-12)
+// leaves the integer picosecond domain, so it clears the classification.
+func isFloatLit(e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Kind == token.FLOAT
+}
+
+// classifyBinary resolves the result domain of arithmetic: shifts keep
+// the left domain, same-domain division cancels into a ratio, and a
+// cross-domain product is a conversion whose result is picoseconds.
+func (s *unitFlowState) classifyBinary(e *ast.BinaryExpr) unitClass {
+	switch e.Op {
+	case token.SHL, token.SHR:
+		return s.classify(e.X)
+	case token.MUL, token.QUO:
+		if isFloatLit(e.X) || isFloatLit(e.Y) {
+			return unitUnknown
+		}
+	case token.ADD, token.SUB, token.REM:
+	default:
+		return unitUnknown
+	}
+	lc, rc := s.classify(e.X), s.classify(e.Y)
+	switch {
+	case lc == rc:
+		if e.Op == token.QUO && lc != unitUnknown {
+			return unitUnknown // ps/ps and cycles/cycles are ratios
+		}
+		return lc
+	case lc == unitUnknown:
+		return rc
+	case rc == unitUnknown:
+		return lc
+	default: // cross-domain product/quotient: a conversion, yielding time
+		return unitPS
+	}
+}
+
+// checkBinary flags cross-domain arithmetic.
+func (s *unitFlowState) checkBinary(e *ast.BinaryExpr) {
+	var additive bool
+	switch e.Op {
+	case token.ADD, token.SUB,
+		token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		additive = true
+	case token.MUL, token.QUO, token.REM:
+	default:
+		return
+	}
+	lc, rc := s.classify(e.X), s.classify(e.Y)
+	if lc == unitUnknown || rc == unitUnknown || lc == rc {
+		return
+	}
+	if additive {
+		s.pass.Reportf(e.OpPos,
+			"%s %s %s mixes picosecond and cycle quantities; convert through a *PS helper first",
+			lc, e.Op, rc)
+		return
+	}
+	if !s.anchored {
+		s.pass.Reportf(e.OpPos,
+			"cycle→time conversion (%s %s %s) outside a *PS-named helper; route it through one so conversion sites stay auditable",
+			lc, e.Op, rc)
+	}
+}
+
+// checkAssign flags unit-punning stores and propagates classifications
+// into locals.
+func (s *unitFlowState) checkAssign(as *ast.AssignStmt) {
+	// Compound ops are additive arithmetic in disguise.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			lc, rc := s.classify(as.Lhs[0]), s.classify(as.Rhs[0])
+			if lc != unitUnknown && rc != unitUnknown && lc != rc {
+				s.pass.Reportf(as.TokPos,
+					"%s %s %s mixes picosecond and cycle quantities; convert through a *PS helper first",
+					lc, as.Tok, rc)
+			}
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		rc := s.classify(as.Rhs[i])
+		// A store into a variable named for the other domain is a pun.
+		var lname string
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			lname = l.Name
+		case *ast.SelectorExpr:
+			lname = l.Sel.Name
+		}
+		if lc := classifyUnitName(lname); lc != unitUnknown && rc != unitUnknown && lc != rc {
+			s.pass.Reportf(as.Rhs[i].Pos(),
+				"storing a %s quantity into %s-denominated %s", rc, lc, lname)
+			continue
+		}
+		// Propagate into locals for downstream classification.
+		if id, ok := lhs.(*ast.Ident); ok && rc != unitUnknown {
+			if obj := s.pass.TypesInfo.Defs[id]; obj != nil {
+				s.vars[obj] = rc
+			} else if obj := s.pass.TypesInfo.Uses[id]; obj != nil {
+				s.vars[obj] = rc
+			}
+		}
+	}
+}
+
+func runUnitFlow(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			s := &unitFlowState{
+				pass:     pass,
+				vars:     map[types.Object]unitClass{},
+				anchored: strings.HasSuffix(fn.Name.Name, "PS"),
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					s.checkAssign(n)
+				case *ast.BinaryExpr:
+					s.checkBinary(n)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

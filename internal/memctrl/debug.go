@@ -1,0 +1,28 @@
+package memctrl
+
+import "fmt"
+
+// DebugPooling arms cheap always-on assertions in the request freelist:
+// Release, WaitFor, and the recycle path panic when handed a handle that
+// is already on the freelist — the use-after-release the pool stress
+// tests probe with generation snapshots, promoted to a one-branch check
+// every pooled transition performs. The race/CI test runs enable it via
+// TestMain in the pooled packages; production runs leave it off, so the
+// hot path pays only an untaken branch on a package-level bool.
+//
+// The flag must be set before any channel runs and not toggled while
+// channels are live (it is read without synchronization; channels are
+// single-goroutine by contract).
+var DebugPooling bool
+
+// assertLive panics if req sits on the freelist: any such call is a
+// use-after-release, because the handle was surrendered and may be
+// reissued (with a bumped generation) to an unrelated access at any
+// moment.
+func (c *Channel) assertLive(req *Request, op string) {
+	if req.pooled {
+		panic(fmt.Sprintf(
+			"memctrl: %s of a recycled request (use after release; handle gen %d is on the freelist)",
+			op, req.gen))
+	}
+}

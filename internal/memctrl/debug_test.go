@@ -1,0 +1,89 @@
+package memctrl
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/dramspec"
+)
+
+// TestMain arms the pooling assertions for every test in this package, so
+// the full suite — the stress tests, the differential tests, the race/CI
+// runs — executes with use-after-release detection on, exactly as the
+// ISSUE's "always-on cheap assertion" contract requires.
+func TestMain(m *testing.M) {
+	DebugPooling = true
+	os.Exit(m.Run())
+}
+
+// mustPanicContaining runs f and asserts it panics with a message
+// containing want.
+func mustPanicContaining(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want one containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v; want message containing %q", r, want)
+		}
+	}()
+	f()
+}
+
+// TestDebugPoolingCatchesUseAfterRelease pins that the armed freelist
+// panics on the three ways a stale handle can come back: Release of a
+// recycled request, WaitFor on a recycled request, and double Release of
+// a still-pending request.
+func TestDebugPoolingCatchesUseAfterRelease(t *testing.T) {
+	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, 0)
+	newChan := func() *Channel {
+		return MustNewChannel(DefaultConfig(ReplicationNone, spec, nil))
+	}
+
+	t.Run("ReleaseAfterRecycle", func(t *testing.T) {
+		c := newChan()
+		req := c.SubmitRead(0, 0)
+		c.WaitFor(req)
+		c.Release(req) // complete: recycles immediately
+		mustPanicContaining(t, "use after release", func() { c.Release(req) })
+	})
+
+	t.Run("WaitForAfterRecycle", func(t *testing.T) {
+		c := newChan()
+		req := c.SubmitRead(0, 0)
+		c.WaitFor(req)
+		c.Release(req)
+		mustPanicContaining(t, "use after release", func() { c.WaitFor(req) })
+	})
+
+	t.Run("DoubleReleasePending", func(t *testing.T) {
+		c := newChan()
+		req := c.SubmitRead(64, 0)
+		if req.Done != 0 {
+			t.Skip("request completed before it could be double-released")
+		}
+		c.Release(req)
+		mustPanicContaining(t, "double Release", func() { c.Release(req) })
+	})
+
+	// A released handle recycled at completion must reissue with a bumped
+	// generation (the invariant the assertions are built on).
+	t.Run("GenerationAdvances", func(t *testing.T) {
+		c := newChan()
+		req := c.SubmitRead(0, 0)
+		gen := req.gen
+		c.WaitFor(req)
+		c.Release(req)
+		re := c.SubmitRead(128, c.Now())
+		if re != req {
+			t.Skip("freelist did not reissue the same node")
+		}
+		if re.gen != gen+1 {
+			t.Fatalf("reissued handle gen = %d, want %d", re.gen, gen+1)
+		}
+	})
+}

@@ -216,6 +216,7 @@ type Request struct {
 	pos int
 
 	released bool   // caller gave the handle back; recycle at completion
+	pooled   bool   // on the freelist (DebugPooling use-after-release checks)
 	gen      uint32 // bumped on every recycle (use-after-release detection in tests)
 }
 

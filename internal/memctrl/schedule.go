@@ -23,7 +23,7 @@ const hitStreakCap = 16
 // around a spec-speed access pair.
 func (c *Channel) correctionPenalty() int64 {
 	t := c.cfg.Spec.Timing
-	specAccess := t.TRCD + t.TCL + int64(t.BurstLength/2)*c.cfg.Spec.Rate.ClockPS()
+	specAccess := t.TRCD + t.TCL + c.cfg.Spec.BurstPS()
 	return 2*dramspec.FrequencySwitchLatency + 2*specAccess
 }
 
@@ -89,6 +89,10 @@ func (c *Channel) recycle(req *Request) {
 	if c.noPool {
 		return
 	}
+	if DebugPooling {
+		c.assertLive(req, "recycle")
+		req.pooled = true
+	}
 	req.gen++
 	c.freeReqs = append(c.freeReqs, req)
 }
@@ -102,6 +106,12 @@ func (c *Channel) recycle(req *Request) {
 func (c *Channel) Release(req *Request) {
 	if req == nil {
 		return
+	}
+	if DebugPooling {
+		c.assertLive(req, "Release")
+		if req.released && req.Done == 0 {
+			panic("memctrl: double Release of a pending request")
+		}
 	}
 	if req.Done != 0 {
 		c.recycle(req)
@@ -153,6 +163,9 @@ func (c *Channel) pendingWrite(block uint64) bool {
 
 // WaitFor simulates until req completes and returns its completion time.
 func (c *Channel) WaitFor(req *Request) int64 {
+	if DebugPooling {
+		c.assertLive(req, "WaitFor")
+	}
 	for req.Done == 0 {
 		if !c.step() {
 			panic("memctrl: waiting on a request but nothing schedulable")

@@ -1,0 +1,18 @@
+package node
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/memctrl"
+)
+
+// TestMain arms the memory controller's pooling assertions for the whole
+// node-level suite: the differential and golden runs here drive the
+// request freelist through the router/core paths, so any premature
+// recycle of a reachable handle panics instead of silently corrupting a
+// later access.
+func TestMain(m *testing.M) {
+	memctrl.DebugPooling = true
+	os.Exit(m.Run())
+}

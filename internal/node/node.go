@@ -480,7 +480,7 @@ func Run(cfg Config, prof workload.Profile) (Result, error) {
 	res.Mem = subMem(endMem, warmMem)
 	res.Activates = endActs - warmActs
 	if res.ExecPS > 0 {
-		res.IPC = float64(res.Instructions) * cpu.ClockPS / float64(res.ExecPS)
+		res.IPC = float64(cpu.CyclesToPS(res.Instructions)) / float64(res.ExecPS)
 	}
 	if res.Instructions > 0 {
 		res.DRAMAccessesPerKI = float64(res.Mem.Reads+res.Mem.Writes) /
