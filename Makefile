@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race lint fmt vet analyze alloc-gate fuzz check bench bench-compare bench-smoke ci
+.PHONY: all build test race lint fmt vet analyze alloc-gate fuzz check smoke-simd bench bench-compare bench-smoke ci
 
 all: build test lint
 
@@ -88,4 +88,10 @@ bench-smoke:
 check:
 	$(GO) run ./cmd/heterodmr -all -quick -check > /dev/null
 
-ci: build test race lint alloc-gate fuzz check
+# smoke-simd exercises the simulation daemon end to end over real HTTP:
+# cold run, daemon restart, replay from the persistent run cache with
+# zero re-simulations and byte-identical result bytes.
+smoke-simd:
+	sh scripts/simd_smoke.sh
+
+ci: build test race lint alloc-gate fuzz check smoke-simd

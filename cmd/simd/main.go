@@ -1,0 +1,116 @@
+// Command simd is the simulation daemon: a long-lived HTTP/JSON service
+// over the experiment engine. Clients POST an experiment spec to
+// /v1/jobs and get a deterministic job id (the content hash of the
+// normalized spec and the code version); progress is polled at
+// /v1/jobs/{id} or streamed at /v1/jobs/{id}/stream, and typed results
+// come from /v1/jobs/{id}/result — byte-identical no matter how often,
+// at what worker count, or on which side of a restart the job runs.
+//
+// With -cache-dir, node-simulation results persist in a verified
+// content-addressed store: resubmitting a spec — even to a freshly
+// restarted daemon — re-renders everything from cache with zero
+// re-simulations, and any previously issued job id can be fetched again
+// because job specs persist alongside the cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cliobs"
+	"repro/internal/obs"
+	"repro/internal/runcache"
+	"repro/internal/simd"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8477", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persistent run-cache directory (empty = in-memory coalescing only)")
+	workers := flag.Int("workers", 0, "per-job worker pool size (0 = GOMAXPROCS); results are identical for every value")
+	maxClientJobs := flag.Int("max-client-jobs", 2, "concurrent jobs allowed per client; further submissions queue")
+	ob := cliobs.Register()
+	flag.Parse()
+
+	if *workers < 0 || *maxClientJobs < 1 {
+		fmt.Fprintln(os.Stderr, "simd: -workers must be >= 0 and -max-client-jobs >= 1")
+		return 2
+	}
+	if code := ob.StartProfile("simd"); code != 0 {
+		return code
+	}
+
+	// The daemon always keeps a registry: /v1/metrics is part of the API.
+	reg := ob.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	var cache *runcache.Cache
+	if *cacheDir != "" {
+		c, err := runcache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: opening cache: %v\n", err)
+			return 1
+		}
+		cache = c
+	}
+
+	srv := simd.New(simd.Config{
+		Workers:          *workers,
+		MaxJobsPerClient: *maxClientJobs,
+		Cache:            cache,
+		CacheVersion:     "", // default: runcache.CodeVersion()
+		Reg:              reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The listening line goes to stdout so scripts can scrape the bound
+	// address (important with -addr :0).
+	fmt.Printf("simd listening on http://%s\n", ln.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go serve(hs, ln, errc)
+
+	code := 0
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "simd: %v, shutting down\n", sig)
+		if err := hs.Shutdown(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "simd: shutdown: %v\n", err)
+			code = 1
+		}
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			code = 1
+		}
+	}
+	if c := ob.Finish("simd", reg, nil); c != 0 {
+		return c
+	}
+	return code
+}
+
+// serve runs the HTTP server; split out so the goroutine body is a plain
+// call.
+func serve(hs *http.Server, ln net.Listener, errc chan<- error) {
+	errc <- hs.Serve(ln)
+}

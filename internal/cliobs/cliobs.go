@@ -27,46 +27,74 @@ type Flags struct {
 	MemProfile string
 
 	cpuFile *os.File // open while CPU profiling; closed by Finish
+	memFile *os.File // opened eagerly by StartProfile, written by Finish
 }
 
-// Register installs -check, -metrics, and -trace on the default flag
+// Register installs the shared observability flags on the default flag
 // set. Call before flag.Parse.
-func Register() *Flags {
+func Register() *Flags { return RegisterOn(flag.CommandLine) }
+
+// RegisterOn installs -check, -metrics, -trace, -cpuprofile, and
+// -memprofile on an explicit FlagSet — the daemon and tests own their
+// flag sets; the one-shot CLIs go through Register. Call before the
+// set's Parse.
+func RegisterOn(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
-	flag.BoolVar(&f.Check, "check", false,
+	fs.BoolVar(&f.Check, "check", false,
 		"run conservation self-checks after every simulation; violations go to stderr and exit non-zero")
-	flag.StringVar(&f.Metrics, "metrics", "",
+	fs.StringVar(&f.Metrics, "metrics", "",
 		"write counters and histograms as sorted-key JSON to this file")
-	flag.StringVar(&f.Trace, "trace", "",
+	fs.StringVar(&f.Trace, "trace", "",
 		"write the flight-recorder event trace as JSON lines to this file")
-	flag.StringVar(&f.CPUProfile, "cpuprofile", "",
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "",
 		"write a pprof CPU profile of the run to this file (see StartProfile)")
-	flag.StringVar(&f.MemProfile, "memprofile", "",
+	fs.StringVar(&f.MemProfile, "memprofile", "",
 		"write a pprof heap profile, taken after the run, to this file")
 	return f
 }
 
-// StartProfile begins CPU profiling when -cpuprofile was given. Call it
-// after flag.Parse and before the simulation starts; Finish stops the
-// profile and closes the file. It returns the process exit code: non-zero
-// when the profile could not be started (the run would silently lose its
-// profile otherwise).
+// StartProfile sets up profiling: it begins CPU profiling when
+// -cpuprofile was given and eagerly opens the -memprofile output so an
+// unwritable path fails the process at startup rather than losing the
+// profile after the whole run. Call it after flag parsing and before the
+// simulation starts; Finish stops the CPU profile, writes the heap
+// profile, and closes both files. It returns the process exit code:
+// non-zero when any profile could not be set up — profile setup failures
+// must never let the run continue and exit 0, or CI-driven profiling
+// runs silently produce nothing.
 func (f *Flags) StartProfile(prog string) int {
-	if f.CPUProfile == "" {
-		return 0
-	}
-	out, err := os.Create(f.CPUProfile)
-	if err != nil {
+	if err := f.startProfile(); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
 		return 1
 	}
-	if err := pprof.StartCPUProfile(out); err != nil {
-		out.Close()
-		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
-		return 1
-	}
-	f.cpuFile = out
 	return 0
+}
+
+func (f *Flags) startProfile() error {
+	if f.CPUProfile != "" {
+		out, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(out); err != nil {
+			out.Close()
+			return err
+		}
+		f.cpuFile = out
+	}
+	if f.MemProfile != "" {
+		out, err := os.Create(f.MemProfile)
+		if err != nil {
+			if f.cpuFile != nil {
+				pprof.StopCPUProfile()
+				f.cpuFile.Close()
+				f.cpuFile = nil
+			}
+			return err
+		}
+		f.memFile = out
+	}
+	return nil
 }
 
 // Registry returns a registry for the run when metrics or trace output
@@ -104,8 +132,19 @@ func (f *Flags) Finish(prog string, reg *obs.Registry, violations []obs.Violatio
 		}
 		f.cpuFile = nil
 	}
-	if f.MemProfile != "" {
+	if f.memFile != nil {
 		runtime.GC() // settle the heap so the profile shows live data, not garbage
+		if err := pprof.WriteHeapProfile(f.memFile); err != nil {
+			f.memFile.Close()
+			fail(err)
+		} else if err := f.memFile.Close(); err != nil {
+			fail(err)
+		}
+		f.memFile = nil
+	} else if f.MemProfile != "" {
+		// StartProfile was never called (library misuse); still honor the
+		// flag rather than silently dropping the profile.
+		runtime.GC()
 		if err := writeFile(f.MemProfile, pprof.WriteHeapProfile); err != nil {
 			fail(err)
 		}

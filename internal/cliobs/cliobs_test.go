@@ -1,6 +1,7 @@
 package cliobs
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,5 +48,108 @@ func TestRegistryNilWithoutOutputFlags(t *testing.T) {
 	}
 	if code := f.Finish("prog", nil, nil); code != 0 {
 		t.Errorf("exit code %d", code)
+	}
+}
+
+// TestStartProfileFailuresExitNonZero is the regression test for the
+// silent-profile-loss exit path: a profile that cannot be set up must
+// produce a non-zero exit code at startup, never "print to stderr and
+// run anyway" — a CI profiling job would otherwise complete green with
+// no profile. The -memprofile path is validated eagerly for the same
+// reason: its output used to be opened only after the whole run.
+func TestStartProfileFailuresExitNonZero(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.pprof")
+	cases := map[string]Flags{
+		"cpuprofile": {CPUProfile: bad},
+		"memprofile": {MemProfile: bad},
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			if code := f.StartProfile("test"); code == 0 {
+				t.Fatalf("StartProfile with unwritable -%s returned 0; profile would be silently lost", name)
+			}
+		})
+	}
+}
+
+// TestStartProfileMemFailureStopsCPUProfile: when the mem path fails
+// after the CPU profile started, profiling must be torn down so a
+// follow-up start is not rejected by the still-running profiler.
+func TestStartProfileMemFailureStopsCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "missing", "mem.pprof"),
+	}
+	if code := f.StartProfile("test"); code == 0 {
+		t.Fatal("StartProfile succeeded with unwritable memprofile")
+	}
+	// If the CPU profiler were still running this second start would fail.
+	g := Flags{CPUProfile: filepath.Join(dir, "cpu2.pprof")}
+	if code := g.StartProfile("test"); code != 0 {
+		t.Fatal("CPU profiler left running after failed StartProfile")
+	}
+	if code := g.Finish("test", nil, nil); code != 0 {
+		t.Fatalf("Finish exit code %d", code)
+	}
+}
+
+// TestProfileRoundTrip: the happy path writes both profiles and exits 0.
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+	}
+	if code := f.StartProfile("test"); code != 0 {
+		t.Fatalf("StartProfile exit code %d", code)
+	}
+	if code := f.Finish("test", nil, nil); code != 0 {
+		t.Fatalf("Finish exit code %d", code)
+	}
+	for _, p := range []string{f.CPUProfile, f.MemProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestFinishOutputFailureExitsNonZero pins the established writeFile
+// behavior the profile paths are held to: an unwritable -metrics or
+// -trace file fails the run.
+func TestFinishOutputFailureExitsNonZero(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	reg := obs.NewRegistry()
+	for name, f := range map[string]Flags{
+		"metrics": {Metrics: bad},
+		"trace":   {Trace: bad},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if code := f.Finish("test", reg, nil); code == 0 {
+				t.Fatalf("Finish with unwritable -%s returned 0", name)
+			}
+		})
+	}
+}
+
+// TestRegisterOnInstallsAllFlags: the daemon registers on its own flag
+// set; every shared flag must be present and bound.
+func TestRegisterOnInstallsAllFlags(t *testing.T) {
+	fs := flag.NewFlagSet("simd", flag.ContinueOnError)
+	f := RegisterOn(fs)
+	for _, name := range []string{"check", "metrics", "trace", "cpuprofile", "memprofile"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse([]string{"-check", "-metrics", "m.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Check || f.Metrics != "m.json" {
+		t.Errorf("parsed flags not reflected: %+v", f)
 	}
 }

@@ -247,13 +247,27 @@ func TestRunAllDeterministicAcrossWorkers(t *testing.T) {
 
 // TestPrewarmSharesRunsAcrossFigures checks the singleflight cache
 // coalesces the runs figures 12-16 share: re-running a figure whose
-// matrix is a subset of an already-warm one computes nothing new.
+// matrix is a subset of an already-warm one computes nothing new. It
+// also asserts the cache's counter/map invariant: the materialized-run
+// counter must equal the number of materialized map entries (the two
+// are updated in one critical section; a divergence means a panic or
+// early return left them inconsistent).
 func TestPrewarmSharesRunsAcrossFigures(t *testing.T) {
 	s := New(Options{Seed: 3, Quick: true, Workers: 4})
 	_ = s.Fig12()
 	n := s.CachedRuns()
+	if done := s.runs.doneEntries(); done != n {
+		t.Errorf("size()=%d but %d map entries are done", n, done)
+	}
+	if s.ComputedRuns() != n {
+		t.Errorf("no persistent store attached, yet computed=%d != materialized=%d",
+			s.ComputedRuns(), n)
+	}
 	_ = s.Fig13() // same design matrix as Fig 12
 	if s.CachedRuns() != n {
 		t.Errorf("Fig 13 re-ran %d simulations Fig 12 already cached", s.CachedRuns()-n)
+	}
+	if done := s.runs.doneEntries(); done != s.CachedRuns() {
+		t.Errorf("size()=%d but %d map entries are done", s.CachedRuns(), done)
 	}
 }

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"repro/internal/node"
+)
+
+// encodeResult serializes one node.Result for the persistent run cache.
+// gob preserves float64 bit patterns exactly, so a decoded result renders
+// the same table bytes as the original — the property the cached-replay
+// byte-identity tests pin.
+func encodeResult(res node.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeResult is the inverse of encodeResult. The payload has already
+// passed the store's digest check, so an error here means a schema
+// mismatch (stale entry from an incompatible build), which callers treat
+// as a miss.
+func decodeResult(payload []byte) (node.Result, error) {
+	var res node.Result
+	err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&res)
+	return res, err
+}

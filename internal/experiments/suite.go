@@ -21,6 +21,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/runcache"
 	"repro/internal/workload"
 )
 
@@ -47,8 +48,22 @@ type Options struct {
 	// are taken, so they never change rendered output.
 	Check bool
 	// Obs, when non-nil, collects counters, histograms, and trace events
-	// from every simulation the suite runs.
+	// from every simulation the suite runs, plus the suite's own
+	// run-cache traffic counters (experiments/runcache/*).
 	Obs *obs.Registry
+	// Cache, when non-nil, persists node-simulation results across
+	// processes: on an in-memory miss the suite consults the
+	// content-addressed store (keyed by the fully resolved node config,
+	// the seed, and CacheVersion) before simulating, and writes every
+	// fresh result back. Instrumented runs (Check or Obs set) never use
+	// the persistent layer — a replayed result cannot reproduce trace
+	// events or re-run conservation checks — but still coalesce in the
+	// in-memory layer. Decoded results are bit-exact, so rendered tables
+	// are byte-identical whether a cell was simulated or replayed.
+	Cache *runcache.Cache
+	// CacheVersion is the code-version component of persistent cache
+	// keys. Empty defaults to runcache.CodeVersion().
+	CacheVersion string
 }
 
 // Suite carries shared state across experiment drivers: the generated
@@ -71,31 +86,109 @@ type Suite struct {
 }
 
 // runCache is a singleflight-style concurrent cache of node simulations:
-// the first goroutine to request a key computes it under a per-key
-// sync.Once while any concurrent requesters for the same key block on
-// that Once, so figures 12-16 share runs without ever duplicating work.
+// the first goroutine to request a key materializes it under the entry's
+// lock while any concurrent requesters for the same key block on that
+// lock, so figures 12-16 share runs without ever duplicating work. When
+// a persistent store is attached, an in-memory miss first consults the
+// content-addressed disk layer and only simulates on a double miss; the
+// fresh result is written back so later processes replay it.
 type runCache struct {
 	m sync.Map // runKey -> *runEntry
-	n atomic.Int64
+	// n counts entries whose result has been materialized (computed or
+	// replayed from disk). It is incremented under the entry's lock, in
+	// the same critical section that sets done, so it always equals the
+	// number of done entries (doneEntries asserts this in tests) — a
+	// compute that panics increments nothing.
+	n        atomic.Int64
+	computed atomic.Int64 // of n: results produced by running a simulation
+
+	store   *runcache.Cache // nil = in-memory only
+	version string          // code-version component of persistent keys
+
+	// Traffic counters (nil-safe handles; wired from Options.Obs).
+	memHits, diskHits, computedC, encodeErrs *obs.Counter
 }
 
 type runEntry struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	res  node.Result
 }
 
-func (c *runCache) get(key runKey, compute func() node.Result) node.Result {
+// get returns the cached result for key, materializing it on first use.
+// A compute that panics leaves the entry unmaterialized — the panic
+// propagates to this caller, the entry's lock is released by the defer,
+// and the next caller for the key simply retries — so one failed run can
+// never pin a zero-value Result into the suite's averages.
+func (c *runCache) get(key runKey, material func() any, compute func() node.Result) node.Result {
 	v, _ := c.m.LoadOrStore(key, new(runEntry))
 	e := v.(*runEntry)
-	e.once.Do(func() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		c.memHits.Add(1)
+		return e.res
+	}
+	if c.store != nil {
+		k := runcache.KeyOf(c.version, material())
+		if payload, ok := c.store.Get(k); ok {
+			if res, err := decodeResult(payload); err == nil {
+				e.res = res
+				e.done = true
+				c.n.Add(1)
+				c.diskHits.Add(1)
+				return e.res
+			}
+			// Undecodable payload (schema drift that slipped past the
+			// version key): fall through and recompute.
+		}
 		e.res = compute()
+		e.done = true
 		c.n.Add(1)
-	})
+		c.computed.Add(1)
+		c.computedC.Add(1)
+		if payload, err := encodeResult(e.res); err == nil {
+			// Put failures are counted by the store; the run stays
+			// uncached but correct.
+			_ = c.store.Put(k, payload)
+		} else {
+			c.encodeErrs.Add(1)
+		}
+		return e.res
+	}
+	e.res = compute()
+	e.done = true
+	c.n.Add(1)
+	c.computed.Add(1)
+	c.computedC.Add(1)
 	return e.res
 }
 
-// size reports how many simulations have been computed (not just keyed).
+// size reports how many simulations have been materialized (not just
+// keyed): computed plus replayed from the persistent store.
 func (c *runCache) size() int { return int(c.n.Load()) }
+
+// computedRuns reports how many simulations were actually executed (disk
+// replays excluded).
+func (c *runCache) computedRuns() int { return int(c.computed.Load()) }
+
+// doneEntries counts map entries whose result has been materialized. At
+// quiescence it must equal size(); the prewarm-sharing test asserts the
+// invariant. (Walking locks each entry briefly, so this is test/debug
+// surface, not hot path.)
+func (c *runCache) doneEntries() int {
+	n := 0
+	c.m.Range(func(_, v any) bool {
+		e := v.(*runEntry)
+		e.mu.Lock()
+		if e.done {
+			n++
+		}
+		e.mu.Unlock()
+		return true
+	})
+	return n
+}
 
 // New returns a Suite. Seed 0 becomes 1.
 func New(opt Options) *Suite {
@@ -109,12 +202,35 @@ func New(opt Options) *Suite {
 			opt.Seeds = 3
 		}
 	}
-	return &Suite{opt: opt}
+	if opt.CacheVersion == "" {
+		opt.CacheVersion = runcache.CodeVersion()
+	}
+	s := &Suite{opt: opt}
+	if opt.Cache != nil && !opt.Check && opt.Obs == nil {
+		// Persistent layer only for uninstrumented runs: a disk replay
+		// skips the simulation, so per-run metrics, traces, and
+		// conservation checks would silently vanish from instrumented
+		// output. In-memory coalescing still applies either way.
+		s.runs.store = opt.Cache
+		s.runs.version = opt.CacheVersion
+	}
+	// Nil-safe handles: on a nil registry these are nil *obs.Counter and
+	// every Add is a no-op.
+	s.runs.memHits = opt.Obs.Counter("experiments/runcache/mem_hits")
+	s.runs.diskHits = opt.Obs.Counter("experiments/runcache/disk_hits")
+	s.runs.computedC = opt.Obs.Counter("experiments/runcache/computed")
+	s.runs.encodeErrs = opt.Obs.Counter("experiments/runcache/encode_errors")
+	return s
 }
 
 // CachedRuns reports how many distinct node simulations the suite has
-// executed so far.
+// materialized so far (executed, or replayed from the persistent cache).
 func (s *Suite) CachedRuns() int { return s.runs.size() }
+
+// ComputedRuns reports how many node simulations the suite actually
+// executed: CachedRuns minus the persistent-cache replays. A fully warm
+// replay reports zero.
+func (s *Suite) ComputedRuns() int { return s.runs.computedRuns() }
 
 // addViolations accumulates conservation violations from a simulation.
 func (s *Suite) addViolations(vs []obs.Violation) {
@@ -195,28 +311,52 @@ func (s *Suite) run(h node.Hierarchy, d design, prof workload.Profile) node.Resu
 	return s.runSeed(h, d, prof, s.opt.Seed)
 }
 
+// nodeConfig resolves the full node configuration for one matrix cell.
+// Both the compute path and the persistent-cache key derive from this
+// one resolution, so the content hash covers exactly what the simulation
+// consumes (instrumentation fields excluded; they never reach the
+// persistent layer).
+func (s *Suite) nodeConfig(h node.Hierarchy, d design, seed uint64) node.Config {
+	spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, d.marginMTs)
+	cfg := node.Config{
+		H:           h,
+		Replication: d.repl,
+		Spec:        spec,
+		Seed:        seed,
+	}
+	if d.repl == memctrl.ReplicationNone && d.setting != dramspec.SettingSpec {
+		// Whole-system margin exploitation (Fig 5's real-system settings).
+		cfg.Spec = dramspec.TableII(d.setting, dramspec.DDR4_3200, d.marginMTs)
+	}
+	if d.repl.Fast() {
+		fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, d.marginMTs)
+		cfg.Fast = &fast
+	}
+	if s.opt.Quick {
+		cfg.InstructionsPerCore = 40_000
+		cfg.WarmupInstructions = 15_000
+	}
+	return cfg
+}
+
+// cacheMaterial is what the persistent cache hashes for one cell: the
+// resolved node configuration plus the workload profile the stream
+// generator derives from. Every field of both reaches the hash
+// (runcache.Canonical panics on anything it cannot cover), so changing
+// any config field, the seed, or the profile changes the key.
+type cacheMaterial struct {
+	Cfg  node.Config
+	Prof workload.Profile
+}
+
 func (s *Suite) runSeed(h node.Hierarchy, d design, prof workload.Profile, seed uint64) node.Result {
 	key := runKey{hier: h.Name, d: d, bench: prof.Name, seed: seed}
-	return s.runs.get(key, func() node.Result {
-		spec := dramspec.TableII(dramspec.SettingSpec, dramspec.DDR4_3200, d.marginMTs)
-		cfg := node.Config{
-			H:           h,
-			Replication: d.repl,
-			Spec:        spec,
-			Seed:        seed,
-		}
-		if d.repl == memctrl.ReplicationNone && d.setting != dramspec.SettingSpec {
-			// Whole-system margin exploitation (Fig 5's real-system settings).
-			cfg.Spec = dramspec.TableII(d.setting, dramspec.DDR4_3200, d.marginMTs)
-		}
-		if d.repl.Fast() {
-			fast := dramspec.TableII(dramspec.SettingFreqLatMargin, dramspec.DDR4_3200, d.marginMTs)
-			cfg.Fast = &fast
-		}
-		if s.opt.Quick {
-			cfg.InstructionsPerCore = 40_000
-			cfg.WarmupInstructions = 15_000
-		}
+	return s.runs.get(key, func() any {
+		// Material is hashed only on the persistent path, where the run
+		// is uninstrumented: Check=false, Obs=nil, ObsScope="".
+		return cacheMaterial{Cfg: s.nodeConfig(h, d, seed), Prof: prof}
+	}, func() node.Result {
+		cfg := s.nodeConfig(h, d, seed)
 		cfg.Check = s.opt.Check
 		cfg.Obs = s.opt.Obs
 		res := node.MustRun(cfg, prof)

@@ -1,0 +1,385 @@
+// Package runcache is the persistent, content-addressed result cache
+// under the experiment engine and the simd daemon. Entries are keyed by
+// a canonical hash of everything that determines a simulation's output —
+// the fully resolved configuration, the seed, and the code version — and
+// stored as self-verifying files under a cache directory, so identical
+// simulation cells are never recomputed across processes, restarts, or
+// clients.
+//
+// Layering: this package is the bottom, cross-process layer. The
+// experiment engine keeps its in-memory singleflight cache on top, so
+// concurrent identical requests within one process still coalesce into
+// one computation (or one disk read) while the disk layer makes the
+// result survive the process.
+//
+// Integrity: a cache file embeds its key and a SHA-256 digest of its
+// payload. Get re-verifies both on every read; a truncated, corrupted,
+// or mis-keyed file is treated as a miss (and counted), never served.
+// Puts write a temporary file and rename it into place, so readers never
+// observe a partially written entry and concurrent writers of the same
+// key converge on identical bytes.
+package runcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// SchemaVersion names the on-disk entry format and the canonical
+// encoding. Bump it whenever either changes incompatibly: the version is
+// mixed into every key, so old entries simply stop matching.
+const SchemaVersion = "rc1"
+
+// Key is the content address of one cache entry: a SHA-256 over the
+// canonical encoding of the entry's inputs and the code version.
+type Key [sha256.Size]byte
+
+// String returns the key as lowercase hex (the on-disk file name).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf hashes the canonical encoding of v, prefixed by the code
+// version. Two values produce the same key iff every (exported) field,
+// recursively, is identical and the version strings match — so changing
+// any configuration field, the seed, or the code version changes the key.
+func KeyOf(version string, v any) Key {
+	h := sha256.New()
+	h.Write([]byte(version))
+	h.Write([]byte{0})
+	h.Write([]byte(Canonical(v)))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Canonical renders v as a deterministic string: structs as
+// "TypeName{Field:value,...}" in declaration order, pointers dereferenced
+// ("nil" when nil), slices and arrays elementwise, maps in sorted-key
+// order, floats in exact hex notation so every bit of the value reaches
+// the hash. It panics on values that have no canonical form (functions,
+// channels, unsafe pointers): cache keys must never silently ignore part
+// of their input.
+func Canonical(v any) string {
+	var b strings.Builder
+	writeCanonical(&b, reflect.ValueOf(v))
+	return b.String()
+}
+
+func writeCanonical(b *strings.Builder, v reflect.Value) {
+	if !v.IsValid() {
+		b.WriteString("nil")
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		b.WriteString(strconv.FormatBool(v.Bool()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		// 'x' format is exact: every distinct bit pattern renders
+		// distinctly (including negative zero and infinities).
+		b.WriteString(strconv.FormatFloat(v.Float(), 'x', -1, 64))
+	case reflect.String:
+		b.WriteString(strconv.Quote(v.String()))
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		b.WriteString("&")
+		writeCanonical(b, v.Elem())
+	case reflect.Slice:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		writeSeq(b, v)
+	case reflect.Array:
+		writeSeq(b, v)
+	case reflect.Struct:
+		t := v.Type()
+		b.WriteString(t.Name())
+		b.WriteString("{")
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				panic(fmt.Sprintf("runcache: unexported field %s.%s has no canonical form; hash an explicit key struct instead", t.Name(), f.Name))
+			}
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(f.Name)
+			b.WriteString(":")
+			writeCanonical(b, v.Field(i))
+		}
+		b.WriteString("}")
+	case reflect.Map:
+		if v.IsNil() {
+			b.WriteString("nil")
+			return
+		}
+		keys := v.MapKeys()
+		rendered := make([]string, len(keys))
+		for i, k := range keys {
+			var kb strings.Builder
+			writeCanonical(&kb, k)
+			rendered[i] = kb.String()
+		}
+		idx := make([]int, len(keys))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(i, j int) bool { return rendered[idx[i]] < rendered[idx[j]] })
+		b.WriteString("map[")
+		for n, i := range idx {
+			if n > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(rendered[i])
+			b.WriteString(":")
+			writeCanonical(b, v.MapIndex(keys[i]))
+		}
+		b.WriteString("]")
+	default:
+		panic(fmt.Sprintf("runcache: %s has no canonical form", v.Kind()))
+	}
+}
+
+func writeSeq(b *strings.Builder, v reflect.Value) {
+	b.WriteString("[")
+	for i := 0; i < v.Len(); i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		writeCanonical(b, v.Index(i))
+	}
+	b.WriteString("]")
+}
+
+// CodeVersion derives the "code version" component of every cache key
+// from the build's embedded VCS metadata: SchemaVersion plus the commit
+// revision, with a "+dirty" marker for locally modified builds. Binaries
+// built without VCS stamping (go test, detached builds) fall back to
+// SchemaVersion alone — callers that need stronger isolation (two
+// different uncommitted builds sharing one cache directory) should pass
+// an explicit version instead.
+func CodeVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return SchemaVersion
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev == "" {
+		return SchemaVersion
+	}
+	v := SchemaVersion + "+" + rev
+	if modified == "true" {
+		v += "+dirty"
+	}
+	return v
+}
+
+// Stats counts cache traffic since Open. All fields are cumulative.
+type Stats struct {
+	Hits      uint64 // entries served (verified) from disk
+	Misses    uint64 // lookups with no usable entry
+	Corrupt   uint64 // of Misses: a file existed but failed verification
+	Puts      uint64 // entries written
+	PutErrors uint64 // writes that failed (the run continues uncached)
+}
+
+// Cache is a directory of content-addressed entries. It is safe for
+// concurrent use by multiple goroutines and, thanks to atomic renames
+// and read-time verification, by multiple processes sharing the
+// directory.
+type Cache struct {
+	dir string
+
+	hits, misses, corrupt, puts, putErrors obs.Counter
+
+	// Optional obs mirrors (nil-safe handles): wired by Observe so the
+	// daemon's exported metrics show cache traffic live.
+	obsHits, obsMisses, obsCorrupt, obsPuts, obsPutErrors *obs.Counter
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Observe mirrors the cache's counters into a registry under
+// scope+"/hits", "/misses", "/corrupt", "/puts", "/put_errors", so cache
+// traffic appears in exported metrics as it happens.
+func (c *Cache) Observe(reg *obs.Registry, scope string) {
+	c.obsHits = reg.Counter(scope + "/hits")
+	c.obsMisses = reg.Counter(scope + "/misses")
+	c.obsCorrupt = reg.Counter(scope + "/corrupt")
+	c.obsPuts = reg.Counter(scope + "/puts")
+	c.obsPutErrors = reg.Counter(scope + "/put_errors")
+}
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Corrupt:   c.corrupt.Value(),
+		Puts:      c.puts.Value(),
+		PutErrors: c.putErrors.Value(),
+	}
+}
+
+// entry file layout: three header lines then the raw payload.
+//
+//	runcache <SchemaVersion>\n
+//	key <hex key>\n
+//	sha256 <hex payload digest> len <payload length>\n
+//	<payload bytes>
+const magicPrefix = "runcache " + SchemaVersion + "\n"
+
+// path shards entries by the first byte of the key so directories stay
+// small at millions of entries.
+func (c *Cache) path(k Key) string {
+	name := k.String()
+	return filepath.Join(c.dir, name[:2], name+".rc")
+}
+
+// Get returns the verified payload for k, or ok=false on any miss —
+// including a present-but-corrupt file, which is never served.
+func (c *Cache) Get(k Key) (payload []byte, ok bool) {
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		c.misses.Add(1)
+		c.obsMisses.Add(1)
+		return nil, false
+	}
+	payload, err = decodeEntry(k, data)
+	if err != nil {
+		c.misses.Add(1)
+		c.corrupt.Add(1)
+		c.obsMisses.Add(1)
+		c.obsCorrupt.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.obsHits.Add(1)
+	return payload, true
+}
+
+// decodeEntry verifies an entry file against its embedded key and
+// digest and returns the payload.
+func decodeEntry(k Key, data []byte) ([]byte, error) {
+	rest, ok := bytes.CutPrefix(data, []byte(magicPrefix))
+	if !ok {
+		return nil, fmt.Errorf("bad magic")
+	}
+	keyLine, rest, ok := bytes.Cut(rest, []byte("\n"))
+	if !ok || string(keyLine) != "key "+k.String() {
+		return nil, fmt.Errorf("key mismatch")
+	}
+	sumLine, payload, ok := bytes.Cut(rest, []byte("\n"))
+	if !ok {
+		return nil, fmt.Errorf("truncated header")
+	}
+	var wantSum string
+	var wantLen int
+	if _, err := fmt.Sscanf(string(sumLine), "sha256 %64s len %d", &wantSum, &wantLen); err != nil {
+		return nil, fmt.Errorf("bad digest line: %w", err)
+	}
+	if len(payload) != wantLen {
+		return nil, fmt.Errorf("payload length %d, want %d", len(payload), wantLen)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		return nil, fmt.Errorf("payload digest mismatch")
+	}
+	return payload, nil
+}
+
+// Put stores payload under k. Errors are counted and returned; callers
+// treat a failed put as "run stays uncached", never as a run failure.
+func (c *Cache) Put(k Key, payload []byte) error {
+	err := c.put(k, payload)
+	if err != nil {
+		c.putErrors.Add(1)
+		c.obsPutErrors.Add(1)
+		return err
+	}
+	c.puts.Add(1)
+	c.obsPuts.Add(1)
+	return nil
+}
+
+func (c *Cache) put(k Key, payload []byte) error {
+	path := c.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	buf.Grow(len(magicPrefix) + 2*sha256.Size + len(payload) + 96)
+	buf.WriteString(magicPrefix)
+	fmt.Fprintf(&buf, "key %s\n", k)
+	fmt.Fprintf(&buf, "sha256 %s len %d\n", hex.EncodeToString(sum[:]), len(payload))
+	buf.Write(payload)
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+k.String()+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: %w", err)
+	}
+	return nil
+}
+
+// Len walks the cache directory and returns the number of entry files
+// (diagnostics; not on any hot path).
+func (c *Cache) Len() int {
+	n := 0
+	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".rc") {
+			n++
+		}
+		return nil
+	})
+	return n
+}
