@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race lint fmt vet analyze alloc-gate fuzz check smoke-simd bench bench-compare bench-smoke ci
+.PHONY: all build test race lint fmt vet analyze alloc-gate fuzz check smoke-simd smoke-shard bench bench-compare bench-smoke ci
 
 all: build test lint
 
@@ -40,6 +40,7 @@ analyze:
 alloc-gate:
 	@fail=0; \
 	for spec in "internal/memctrl BenchmarkChannelReadStream" \
+	            "internal/memctrl BenchmarkChannelBatchIssue" \
 	            "internal/heterodmr BenchmarkHeteroDMRReadMode" \
 	            "internal/rs BenchmarkRSDetect"; do \
 		set -- $$spec; \
@@ -63,6 +64,7 @@ fuzz:
 # (event-driven scheduling pass).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkChannelReadStream -benchmem ./internal/memctrl
+	$(GO) test -run '^$$' -bench 'BenchmarkChannelBatchIssue$$' -benchmem ./internal/memctrl
 	$(GO) test -run '^$$' -bench BenchmarkHeteroDMRReadMode -benchmem ./internal/heterodmr
 	$(GO) test -run '^$$' -bench BenchmarkRSDetect -benchmem ./internal/rs
 	$(GO) test -run '^$$' -bench 'BenchmarkRunAll' -benchmem -benchtime 1x .
@@ -74,6 +76,7 @@ bench:
 # are the same pairs the differential/fuzz tests pin to identical output.
 bench-compare:
 	$(GO) test -run '^$$' -bench 'BenchmarkChannel(ReadStream|ScanScheduler)' -benchmem ./internal/memctrl
+	$(GO) test -run '^$$' -bench 'BenchmarkChannelBatchIssue' -benchmem ./internal/memctrl
 	$(GO) test -run '^$$' -bench 'BenchmarkRSDetect' -benchmem ./internal/rs
 	$(GO) test -run '^$$' -bench BenchmarkRunAllSeq -benchmem -benchtime 1x .
 
@@ -94,4 +97,12 @@ check:
 smoke-simd:
 	sh scripts/simd_smoke.sh
 
-ci: build test race lint alloc-gate fuzz check smoke-simd
+# smoke-shard exercises scale-out sharded execution end to end: a
+# coordinator fanning the experiment matrix out to two local worker
+# processes over a shared content-addressed cache, one worker killed
+# mid-suite, output compared byte for byte against the sequential run,
+# then a warm-cache replay that must recompute nothing.
+smoke-shard:
+	sh scripts/shard_smoke.sh
+
+ci: build test race lint alloc-gate fuzz check smoke-simd smoke-shard

@@ -7,6 +7,8 @@
 //	heterodmr -exp fig12 [-seed 1] [-quick]
 //	heterodmr -all [-markdown]
 //	heterodmr -all -check [-metrics out.json] [-trace out.jsonl]
+//	heterodmr -worker -worker-addr 127.0.0.1:0 -cache-dir /shared/cache
+//	heterodmr -all -shard-workers 4 -cache-dir /shared/cache
 package main
 
 import (
@@ -16,9 +18,14 @@ import (
 
 	"repro/internal/cliobs"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		exp       = flag.String("exp", "", "experiment id (see -list)")
 		all       = flag.Bool("all", false, "run every experiment in paper order")
@@ -28,13 +35,15 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced scale (one benchmark per suite, fewer trials)")
 		markdown  = flag.Bool("markdown", false, "render tables as markdown")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
-		ob        = cliobs.Register()
+		sh        = &shard.CLI{}
 	)
+	sh.Register(flag.CommandLine)
+	ob := cliobs.Register()
 	flag.Parse()
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "heterodmr: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
-		os.Exit(2)
+		return 2
 	}
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -43,14 +52,24 @@ func main() {
 		for _, e := range experiments.Ablations() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+	if sh.Worker {
+		return sh.ServeWorker("heterodmr", nil)
 	}
 	if code := ob.StartProfile("heterodmr"); code != 0 {
-		os.Exit(code)
+		return code
 	}
 	reg := ob.Registry()
+	pool, cache, cleanup, err := sh.Pool(reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heterodmr: %v\n", err)
+		return 1
+	}
+	defer cleanup()
 	s := experiments.New(experiments.Options{
 		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,
+		Cache: cache, Shard: pool,
 	})
 	render := func(t interface {
 		String() string
@@ -76,17 +95,19 @@ func main() {
 		if err != nil {
 			if e2, err2 := experiments.AblationByID(*exp); err2 == nil {
 				render(e2.Run(s))
-				os.Exit(ob.Finish("heterodmr", reg, s.Violations()))
+				return ob.Finish("heterodmr", reg, s.Violations())
 			}
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		render(e.Run(s))
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
-	if code := ob.Finish("heterodmr", reg, s.Violations()); code != 0 {
-		os.Exit(code)
+	if pool != nil || cache != nil {
+		fmt.Fprintf(os.Stderr, "heterodmr: computed %d of %d node simulations\n",
+			s.ComputedRuns(), s.CachedRuns())
 	}
+	return ob.Finish("heterodmr", reg, s.Violations())
 }

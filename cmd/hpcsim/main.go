@@ -11,26 +11,43 @@ import (
 
 	"repro/internal/cliobs"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "reduced trace scale")
 	exp := flag.String("exp", "", "one of fig1, fig17 (default: both)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+	sh := &shard.CLI{}
+	sh.Register(flag.CommandLine)
 	ob := cliobs.Register()
 	flag.Parse()
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "hpcsim: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
-		os.Exit(2)
+		return 2
+	}
+	if sh.Worker {
+		return sh.ServeWorker("hpcsim", nil)
 	}
 	if code := ob.StartProfile("hpcsim"); code != 0 {
-		os.Exit(code)
+		return code
 	}
 	reg := ob.Registry()
+	pool, cache, cleanup, err := sh.Pool(reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpcsim: %v\n", err)
+		return 1
+	}
+	defer cleanup()
 	s := experiments.New(experiments.Options{
 		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,
+		Cache: cache, Shard: pool,
 	})
 	ids := []string{"fig1", "fig17"}
 	if *exp != "" {
@@ -39,11 +56,14 @@ func main() {
 	for _, id := range ids {
 		e, err := experiments.ByID(id)
 		if err != nil {
-			panic(err)
+			fmt.Fprintln(os.Stderr, err)
+			return 2
 		}
 		fmt.Println(e.Run(s).String())
 	}
-	if code := ob.Finish("hpcsim", reg, s.Violations()); code != 0 {
-		os.Exit(code)
+	if pool != nil || cache != nil {
+		fmt.Fprintf(os.Stderr, "hpcsim: computed %d of %d node simulations\n",
+			s.ComputedRuns(), s.CachedRuns())
 	}
+	return ob.Finish("hpcsim", reg, s.Violations())
 }

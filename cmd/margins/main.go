@@ -1,6 +1,10 @@
 // Command margins runs the §III-D Monte-Carlo estimation of channel- and
 // node-level memory frequency margins (Fig 11) and prints the node groups
 // the margin-aware scheduler uses.
+//
+// With -shard/-shard-workers the Monte-Carlo trial ranges fan out to
+// worker processes (this same binary in -worker mode) over a shared
+// -cache-dir store; output stays byte-identical to a sequential run.
 package main
 
 import (
@@ -10,31 +14,50 @@ import (
 
 	"repro/internal/cliobs"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "fewer Monte-Carlo trials")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential); output is identical for every value")
+	sh := &shard.CLI{}
+	sh.Register(flag.CommandLine)
 	ob := cliobs.Register()
 	flag.Parse()
 
 	if *workers < 0 {
 		fmt.Fprintf(os.Stderr, "margins: invalid -workers %d: must be >= 0 (0 = GOMAXPROCS)\n", *workers)
-		os.Exit(2)
+		return 2
+	}
+	if sh.Worker {
+		return sh.ServeWorker("margins", nil)
 	}
 	if code := ob.StartProfile("margins"); code != 0 {
-		os.Exit(code)
+		return code
 	}
 	reg := ob.Registry()
+	pool, cache, cleanup, err := sh.Pool(reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "margins: %v\n", err)
+		return 1
+	}
+	defer cleanup()
 	s := experiments.New(experiments.Options{
 		Seed: *seed, Quick: *quick, Workers: *workers, Check: ob.Check, Obs: reg,
+		Cache: cache, Shard: pool,
 	})
 	fmt.Println(s.Fig11().String())
 	g := s.NodeMarginGroups()
 	fmt.Printf("scheduler node groups: 0.8GT/s %.1f%%  0.6GT/s %.1f%%  below %.1f%%\n",
 		100*g.At800, 100*g.At600, 100*g.Below)
-	if code := ob.Finish("margins", reg, s.Violations()); code != 0 {
-		os.Exit(code)
+	if pool != nil || cache != nil {
+		fmt.Fprintf(os.Stderr, "margins: computed %d of %d node simulations\n",
+			s.ComputedRuns(), s.CachedRuns())
 	}
+	return ob.Finish("margins", reg, s.Violations())
 }

@@ -11,6 +11,13 @@
 // restarted daemon — re-renders everything from cache with zero
 // re-simulations, and any previously issued job id can be fetched again
 // because job specs persist alongside the cache.
+//
+// With -worker the binary instead serves the internal/shard unit API
+// (POST /shard/v1/unit) on -addr: a coordinator — another CLI with
+// -shard/-shard-workers, or a simd daemon with -shard — dispatches
+// individual node simulations and Monte-Carlo ranges to it over the
+// shared -cache-dir store. With -shard the daemon itself becomes a
+// coordinator, fanning every job's matrix out to those workers.
 package main
 
 import (
@@ -25,7 +32,7 @@ import (
 
 	"repro/internal/cliobs"
 	"repro/internal/obs"
-	"repro/internal/runcache"
+	"repro/internal/shard"
 	"repro/internal/simd"
 )
 
@@ -38,12 +45,20 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "persistent run-cache directory (empty = in-memory coalescing only)")
 	workers := flag.Int("workers", 0, "per-job worker pool size (0 = GOMAXPROCS); results are identical for every value")
 	maxClientJobs := flag.Int("max-client-jobs", 2, "concurrent jobs allowed per client; further submissions queue")
+	worker := flag.Bool("worker", false, "serve the shard worker unit API on -addr instead of the job API")
+	shardURLs := flag.String("shard", "", "comma-separated shard worker base URLs to fan jobs out to")
+	shardSpawn := flag.Int("shard-workers", 0, "spawn this many local shard worker subprocesses")
 	ob := cliobs.Register()
 	flag.Parse()
+
+	sh := &shard.CLI{Worker: *worker, WorkerAddr: *addr, Workers: *shardURLs, Spawn: *shardSpawn, CacheDir: *cacheDir}
 
 	if *workers < 0 || *maxClientJobs < 1 {
 		fmt.Fprintln(os.Stderr, "simd: -workers must be >= 0 and -max-client-jobs >= 1")
 		return 2
+	}
+	if sh.Worker {
+		return sh.ServeWorker("simd", nil)
 	}
 	if code := ob.StartProfile("simd"); code != 0 {
 		return code
@@ -55,15 +70,12 @@ func run() int {
 		reg = obs.NewRegistry()
 	}
 
-	var cache *runcache.Cache
-	if *cacheDir != "" {
-		c, err := runcache.Open(*cacheDir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "simd: opening cache: %v\n", err)
-			return 1
-		}
-		cache = c
+	pool, cache, cleanup, err := sh.Pool(reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		return 1
 	}
+	defer cleanup()
 
 	srv := simd.New(simd.Config{
 		Workers:          *workers,
@@ -71,6 +83,7 @@ func run() int {
 		Cache:            cache,
 		CacheVersion:     "", // default: runcache.CodeVersion()
 		Reg:              reg,
+		Shard:            pool,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/report"
 	"repro/internal/rs"
+	"repro/internal/shard"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -48,7 +49,7 @@ func (s *Suite) AblationSelection() *report.Table {
 	h := node.Hierarchy1()
 	at800, at600 := s.HeteroDMRWeightedSpeedup(h)
 	for _, sel := range []montecarlo.Selection{montecarlo.MarginAware, montecarlo.MarginUnaware} {
-		g := montecarlo.NodeLevel(cfg, sel).Groups()
+		g := s.monteCarlo(shard.LevelNode, cfg, sel).Groups()
 		// Expected speedup across the node population for <50%-util jobs.
 		exp := g.At800*at800 + g.At600*at600 + g.Below*1
 		t.AddRow(sel.String(), fmtPct(g.At800), fmtPct(g.At800+g.At600), fmt.Sprintf("%.3f", exp))

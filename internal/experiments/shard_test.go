@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/runcache"
+	"repro/internal/shard"
+)
+
+// TestShardedSuiteByteIdentical pins the coordinator-side guarantee of
+// scale-out execution: a suite fanning its run matrix out to two worker
+// processes over a shared content-addressed cache renders the exact
+// bytes of the sequential in-process run — node simulations (Fig 14)
+// and Monte-Carlo margin sweeps (Fig 11) both — and a warm rerun over
+// the shared store recomputes nothing anywhere in the fleet.
+func TestShardedSuiteByteIdentical(t *testing.T) {
+	render := func(s *Suite) string { return s.Fig14().String() + s.Fig11().String() }
+
+	seq := New(Options{Seed: 5, Quick: true, Seeds: 1, Workers: 2})
+	want := render(seq)
+
+	dir := t.TempDir()
+	openCache := func() *runcache.Cache {
+		c, err := runcache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	workers := make([]string, 2)
+	for i := range workers {
+		srv := httptest.NewServer(shard.NewWorker("test-v1", openCache(), nil).Handler())
+		t.Cleanup(srv.Close)
+		workers[i] = srv.URL
+	}
+
+	shardedRun := func() (*Suite, *obs.Registry) {
+		reg := obs.NewRegistry()
+		pool := shard.NewPool(shard.PoolOptions{Workers: workers, Cache: openCache(), Reg: reg})
+		s := New(Options{Seed: 5, Quick: true, Seeds: 1, Workers: 2,
+			Cache: openCache(), CacheVersion: "test-v1", Shard: pool})
+		if got := render(s); got != want {
+			t.Fatal("sharded run rendered different bytes than the sequential run")
+		}
+		return s, reg
+	}
+
+	cold, coldReg := shardedRun()
+	cs := coldReg.Snapshot()
+	if cs.Counters["shard/dispatched"] == 0 {
+		t.Error("cold sharded run dispatched nothing to the fleet")
+	}
+	if cold.ComputedRuns() == 0 {
+		t.Error("cold sharded run reports zero computed runs; worker results miscounted")
+	}
+
+	// Warm rerun: every unit is already in the shared store, so the
+	// pool's prefill satisfies the whole matrix without a single
+	// dispatch or local execution — zero re-simulation fleet-wide.
+	warm, warmReg := shardedRun()
+	if got := warm.ComputedRuns(); got != 0 {
+		t.Errorf("warm sharded run re-simulated %d cells, want 0", got)
+	}
+	ws := warmReg.Snapshot()
+	if ws.Counters["shard/dispatched"] != 0 {
+		t.Errorf("warm run dispatched %d units, want 0", ws.Counters["shard/dispatched"])
+	}
+	if ws.Counters["shard/local"] != 0 {
+		t.Errorf("warm run executed %d units locally, want 0", ws.Counters["shard/local"])
+	}
+	if ws.Counters["shard/cache_hits"] == 0 {
+		t.Error("warm run recorded no shared-cache hits")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/runcache"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -64,6 +65,16 @@ type Options struct {
 	// CacheVersion is the code-version component of persistent cache
 	// keys. Empty defaults to runcache.CodeVersion().
 	CacheVersion string
+	// Shard, when non-nil, fans the node-simulation matrix prewarm and
+	// the Monte-Carlo trial ranges out to worker processes through the
+	// dispatch pool. Results are committed in positional order and
+	// decoded from the same gob payloads the persistent cache stores,
+	// so rendered output is byte-identical to an in-process run at any
+	// worker count — including with workers failing mid-suite (the pool
+	// retries, requeues, and falls back to local execution).
+	// Instrumented runs (Check or Obs set) never shard: a remote result
+	// cannot reproduce trace events or conservation checks.
+	Shard *shard.Pool
 }
 
 // Suite carries shared state across experiment drivers: the generated
@@ -162,6 +173,45 @@ func (c *runCache) get(key runKey, material func() any, compute func() node.Resu
 	c.computed.Add(1)
 	c.computedC.Add(1)
 	return e.res
+}
+
+// peek reports whether key is already materialized, without computing.
+func (c *runCache) peek(key runKey) bool {
+	v, ok := c.m.Load(key)
+	if !ok {
+		return false
+	}
+	e := v.(*runEntry)
+	e.mu.Lock()
+	done := e.done
+	e.mu.Unlock()
+	return done
+}
+
+// commit materializes key with a result produced elsewhere (a shard
+// worker, decoded from its cache payload). It preserves get's
+// accounting invariants — n incremented in the same critical section
+// that sets done — and is a no-op on an already-done entry, so a racing
+// get and commit agree on a single result.
+func (c *runCache) commit(key runKey, res node.Result, computed bool) {
+	v, _ := c.m.LoadOrStore(key, new(runEntry))
+	e := v.(*runEntry)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return
+	}
+	e.res = res
+	e.done = true
+	c.n.Add(1)
+	if computed {
+		// A fleet worker ran the simulation for this suite's benefit;
+		// it counts as computed so warm-cache replays still report zero.
+		c.computed.Add(1)
+		c.computedC.Add(1)
+	} else {
+		c.diskHits.Add(1)
+	}
 }
 
 // size reports how many simulations have been materialized (not just
@@ -339,22 +389,21 @@ func (s *Suite) nodeConfig(h node.Hierarchy, d design, seed uint64) node.Config 
 	return cfg
 }
 
-// cacheMaterial is what the persistent cache hashes for one cell: the
+// The persistent cache hashes shard.NodeMaterial for one cell: the
 // resolved node configuration plus the workload profile the stream
 // generator derives from. Every field of both reaches the hash
 // (runcache.Canonical panics on anything it cannot cover), so changing
-// any config field, the seed, or the profile changes the key.
-type cacheMaterial struct {
-	Cfg  node.Config
-	Prof workload.Profile
-}
+// any config field, the seed, or the profile changes the key. The type
+// lives in internal/shard because Canonical embeds the type name in the
+// hash: shard workers computing a unit and this suite replaying it must
+// hash the identical identity to land on the same cache entry.
 
 func (s *Suite) runSeed(h node.Hierarchy, d design, prof workload.Profile, seed uint64) node.Result {
 	key := runKey{hier: h.Name, d: d, bench: prof.Name, seed: seed}
 	return s.runs.get(key, func() any {
 		// Material is hashed only on the persistent path, where the run
 		// is uninstrumented: Check=false, Obs=nil, ObsScope="".
-		return cacheMaterial{Cfg: s.nodeConfig(h, d, seed), Prof: prof}
+		return shard.NodeMaterial{Cfg: s.nodeConfig(h, d, seed), Prof: prof}
 	}, func() node.Result {
 		cfg := s.nodeConfig(h, d, seed)
 		cfg.Check = s.opt.Check
@@ -396,6 +445,10 @@ func (s *Suite) matrix(hs []node.Hierarchy, ds []design, profs []workload.Profil
 // simulation matrix saturates the machine. Requests that race with other
 // drivers' identical runs coalesce in the singleflight cache.
 func (s *Suite) prewarm(reqs []runReq) {
+	if s.sharded() {
+		s.prewarmSharded(reqs)
+		return
+	}
 	parallel.ForEach(s.opt.Workers, len(reqs), func(i int) {
 		r := reqs[i]
 		s.runSeed(r.h, r.d, r.prof, r.seed)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/parallel"
 	"repro/internal/report"
+	"repro/internal/shard"
 )
 
 // monteCarloConfig builds the suite's Monte-Carlo configuration: paper
@@ -29,10 +30,10 @@ func (s *Suite) Fig11() *report.Table {
 	cfg := s.monteCarloConfig()
 	t := report.New("Fig 11 — channel/node margin distributions",
 		"level", "selection", ">=0.8GT/s", ">=0.6GT/s", "paper >=0.8", "paper >=0.6")
-	ca := montecarlo.ChannelLevel(cfg, montecarlo.MarginAware)
-	cu := montecarlo.ChannelLevel(cfg, montecarlo.MarginUnaware)
-	na := montecarlo.NodeLevel(cfg, montecarlo.MarginAware)
-	nu := montecarlo.NodeLevel(cfg, montecarlo.MarginUnaware)
+	ca := s.monteCarlo(shard.LevelChannel, cfg, montecarlo.MarginAware)
+	cu := s.monteCarlo(shard.LevelChannel, cfg, montecarlo.MarginUnaware)
+	na := s.monteCarlo(shard.LevelNode, cfg, montecarlo.MarginAware)
+	nu := s.monteCarlo(shard.LevelNode, cfg, montecarlo.MarginUnaware)
 	t.AddRow("channel", "margin-aware", fmtPct(ca.FractionAtLeast(800)), fmtPct(ca.FractionAtLeast(600)), "96%", "-")
 	t.AddRow("channel", "margin-unaware", fmtPct(cu.FractionAtLeast(800)), fmtPct(cu.FractionAtLeast(600)), "80%", "-")
 	t.AddRow("node", "margin-aware", fmtPct(na.FractionAtLeast(800)), fmtPct(na.FractionAtLeast(600)), "62%", "98%")
@@ -43,7 +44,7 @@ func (s *Suite) Fig11() *report.Table {
 // NodeMarginGroups returns the margin-aware node groups Fig 17's cluster
 // uses (§III-D3's 62% / 36% / 2% example).
 func (s *Suite) NodeMarginGroups() montecarlo.NodeGroups {
-	return montecarlo.NodeLevel(s.monteCarloConfig(), montecarlo.MarginAware).Groups()
+	return s.monteCarlo(shard.LevelNode, s.monteCarloConfig(), montecarlo.MarginAware).Groups()
 }
 
 // fig17Scale returns the trace scale (full Grizzly, or reduced in Quick

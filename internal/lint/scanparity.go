@@ -37,12 +37,12 @@ and the finding points at the hook's declaration.`,
 
 // scanParityHooks is the comma-separated list of hook names the check
 // applies to: the Config field selecting the legacy scan scheduler and
-// the channel's pooling bypass.
+// the channel's pooling and row-hit-batching bypasses.
 var scanParityHooks string
 
 func init() {
 	ScanParity.Flags.StringVar(&scanParityHooks, "hooks",
-		"ScanScheduler,noPool",
+		"ScanScheduler,noPool,noBatch",
 		"comma-separated dual-path hook names that must be referenced from an in-package test")
 }
 

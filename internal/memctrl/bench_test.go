@@ -34,6 +34,57 @@ func BenchmarkChannelReadStream(b *testing.B) {
 	benchStream(b, hdmrChannel())
 }
 
+// benchBurst drives the burst-friendly shape: several banks' worth of
+// row streaks submitted together in bank-clustered order (each cluster
+// is a run of sequential blocks in one row — consecutive rows land on
+// different banks), then a wait on the newest. The scheduler drains
+// cluster after cluster inside one WaitFor; with many banks hot, the
+// unbatched path re-walks the hot-bank list per serve while the batched
+// path issues each streak in one activation.
+func benchBurst(b *testing.B, c *Channel) {
+	const clusters, per = 8, 8
+	row := uint64(c.cfg.RowBytes)
+	blk := uint64(c.cfg.BlockBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	addr := uint64(0)
+	var window [clusters * per]*Request
+	for i := 0; i < b.N; i++ {
+		at := c.Now()
+		n := 0
+		for cl := 0; cl < clusters; cl++ {
+			a := addr + uint64(cl)*row
+			for k := 0; k < per; k++ {
+				window[n] = c.SubmitRead(a, at)
+				a += blk
+				n++
+			}
+		}
+		c.WaitFor(window[n-1])
+		for _, r := range window {
+			c.Release(r)
+		}
+		addr += clusters * row // fresh rows next window
+	}
+}
+
+// BenchmarkChannelBatchIssue measures row-hit burst batching on the
+// event-driven scheduler: consecutive same-open-row FR-FCFS picks issue
+// in one scheduler activation. The Off twin below is the same stream
+// with batching disabled; the ratio is the dispatch overhead recovered
+// per row burst. Run with -benchmem; the steady state must not allocate
+// (the alloc-gate pins this).
+func BenchmarkChannelBatchIssue(b *testing.B) {
+	benchBurst(b, hdmrChannel())
+}
+
+// BenchmarkChannelBatchIssueOff is the unbatched twin (noBatch hook).
+func BenchmarkChannelBatchIssueOff(b *testing.B) {
+	c := hdmrChannel()
+	c.noBatch = true
+	benchBurst(b, c)
+}
+
 // BenchmarkChannelScanScheduler is the same stream on the legacy
 // poll-per-step scan paths (Config.ScanScheduler). It keeps the scan
 // twin compiled, raced (CI runs every benchmark once under -race), and

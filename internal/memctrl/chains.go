@@ -225,17 +225,8 @@ func (c *Channel) pickReadChained() (pos, serveRank int) {
 	if best == nil {
 		return -1, -1
 	}
-	// Re-resolve the serving rank in candidate order so ties between an
-	// original and its copy break exactly like the legacy scan (which
-	// probes readCandidateRanks in order and returns the first hit).
-	for _, cand := range c.readCandidateRanks(best.rank) {
-		r := c.ranks[cand]
-		if r.InSelfRefresh() {
-			continue
-		}
-		if r.Bank(best.bank).OpenRow() == best.row && c.streak(c.globalBank(cand, best.bank)) < hitStreakCap {
-			return best.pos, cand
-		}
+	if cand := c.resolveHitRank(best); cand >= 0 {
+		return best.pos, cand
 	}
 	// Unreachable: best came from a serving bank with an open-row match
 	// and a live streak budget, and such a bank is always in the request's
@@ -243,4 +234,24 @@ func (c *Channel) pickReadChained() (pos, serveRank int) {
 	// silently into the second pass would break scan equivalence, so fail
 	// loudly instead.
 	panic("memctrl: chained row hit lost during candidate re-resolution")
+}
+
+// resolveHitRank re-resolves which rank serves a chained row hit, in
+// candidate order, so ties between an original and its copy break
+// exactly like the legacy scan (which probes readCandidateRanks in order
+// and returns the first open-row match with streak budget). Returns -1
+// when no candidate qualifies. Shared by pickReadChained and the
+// row-hit burst loop, which must stop the moment the resolution would
+// land on a different rank than the burst's.
+func (c *Channel) resolveHitRank(req *Request) int {
+	for _, cand := range c.readCandidateRanks(req.rank) {
+		r := c.ranks[cand]
+		if r.InSelfRefresh() {
+			continue
+		}
+		if r.Bank(req.bank).OpenRow() == req.row && c.streak(c.globalBank(cand, req.bank)) < hitStreakCap {
+			return cand
+		}
+	}
+	return -1
 }

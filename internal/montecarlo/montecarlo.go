@@ -125,12 +125,41 @@ func channelMargin(rng *xrand.Rand, cfg Config, sel Selection) float64 {
 	return best
 }
 
-// shardTrials is the fixed trial count per RNG shard. Shard s always
-// covers trials [s*shardTrials, (s+1)*shardTrials) and owns the child
+// ShardTrials is the fixed trial count per RNG shard. Shard s always
+// covers trials [s*ShardTrials, (s+1)*ShardTrials) and owns the child
 // generator xrand.NewAt(seed+stream, s), so the empirical distribution is
 // a pure function of (Config, Selection) — independent of the worker
-// count and of goroutine scheduling.
-const shardTrials = 1024
+// count and of goroutine scheduling. Exported so the cross-process
+// sharding layer (internal/shard) can carve the trial space into
+// shard-aligned ranges whose draws match an in-process run exactly.
+const ShardTrials = 1024
+
+// channelShard fills out (a subslice of one shard's trial range) with
+// channel margins drawn from shard s's positional RNG. A short out only
+// truncates the tail of the shard: draws are consumed in trial order, so
+// prefixes are stable.
+func channelShard(cfg Config, sel Selection, s int, out []float64) {
+	rng := xrand.NewAt(cfg.Seed+uint64(sel), uint64(s))
+	for t := range out {
+		out[t] = channelMargin(rng, cfg, sel)
+	}
+}
+
+// nodeShard is channelShard's node-level counterpart on the offset seed
+// stream: each trial takes the minimum margin across the node's channels.
+func nodeShard(cfg Config, sel Selection, s int, out []float64) {
+	rng := xrand.NewAt(cfg.Seed+1000+uint64(sel), uint64(s))
+	for t := range out {
+		min := -1.0
+		for c := 0; c < cfg.ChannelsPerNode; c++ {
+			m := channelMargin(rng, cfg, sel)
+			if min < 0 || m < min {
+				min = m
+			}
+		}
+		out[t] = min
+	}
+}
 
 // ChannelLevel runs the Fig 11 channel-level experiment. Trials are
 // sharded onto the worker pool: each shard seeds its own child RNG
@@ -140,12 +169,9 @@ const shardTrials = 1024
 func ChannelLevel(cfg Config, sel Selection) Result {
 	validate(cfg)
 	margins := make([]float64, cfg.Trials)
-	parallel.ForEach(cfg.Workers, parallel.Chunks(cfg.Trials, shardTrials), func(s int) {
-		rng := xrand.NewAt(cfg.Seed+uint64(sel), uint64(s))
-		lo, hi := parallel.ChunkRange(s, cfg.Trials, shardTrials)
-		for t := lo; t < hi; t++ {
-			margins[t] = channelMargin(rng, cfg, sel)
-		}
+	parallel.ForEach(cfg.Workers, parallel.Chunks(cfg.Trials, ShardTrials), func(s int) {
+		lo, hi := parallel.ChunkRange(s, cfg.Trials, ShardTrials)
+		channelShard(cfg, sel, s, margins[lo:hi])
 	})
 	return Result{Margins: margins}
 }
@@ -157,21 +183,52 @@ func ChannelLevel(cfg Config, sel Selection) Result {
 func NodeLevel(cfg Config, sel Selection) Result {
 	validate(cfg)
 	margins := make([]float64, cfg.Trials)
-	parallel.ForEach(cfg.Workers, parallel.Chunks(cfg.Trials, shardTrials), func(s int) {
-		rng := xrand.NewAt(cfg.Seed+1000+uint64(sel), uint64(s))
-		lo, hi := parallel.ChunkRange(s, cfg.Trials, shardTrials)
-		for t := lo; t < hi; t++ {
-			min := -1.0
-			for c := 0; c < cfg.ChannelsPerNode; c++ {
-				m := channelMargin(rng, cfg, sel)
-				if min < 0 || m < min {
-					min = m
-				}
-			}
-			margins[t] = min
-		}
+	parallel.ForEach(cfg.Workers, parallel.Chunks(cfg.Trials, ShardTrials), func(s int) {
+		lo, hi := parallel.ChunkRange(s, cfg.Trials, ShardTrials)
+		nodeShard(cfg, sel, s, margins[lo:hi])
 	})
 	return Result{Margins: margins}
+}
+
+// ChannelLevelRange computes channel-level margins for trials [lo, hi)
+// only — the work-unit form the cross-process sharding layer dispatches.
+// lo must be ShardTrials-aligned (a range starts at a shard boundary so
+// its first RNG is fresh); hi may truncate the final shard, which only
+// drops tail draws. Concatenating the ranges of any shard-aligned
+// partition of [0, Trials) reproduces ChannelLevel bit for bit.
+func ChannelLevelRange(cfg Config, sel Selection, lo, hi int) []float64 {
+	validate(cfg)
+	checkRange(cfg, lo, hi)
+	out := make([]float64, hi-lo)
+	for s := lo / ShardTrials; s*ShardTrials < hi; s++ {
+		a, b := s*ShardTrials, (s+1)*ShardTrials
+		if b > hi {
+			b = hi
+		}
+		channelShard(cfg, sel, s, out[a-lo:b-lo])
+	}
+	return out
+}
+
+// NodeLevelRange is ChannelLevelRange's node-level counterpart.
+func NodeLevelRange(cfg Config, sel Selection, lo, hi int) []float64 {
+	validate(cfg)
+	checkRange(cfg, lo, hi)
+	out := make([]float64, hi-lo)
+	for s := lo / ShardTrials; s*ShardTrials < hi; s++ {
+		a, b := s*ShardTrials, (s+1)*ShardTrials
+		if b > hi {
+			b = hi
+		}
+		nodeShard(cfg, sel, s, out[a-lo:b-lo])
+	}
+	return out
+}
+
+func checkRange(cfg Config, lo, hi int) {
+	if lo < 0 || hi > cfg.Trials || lo >= hi || lo%ShardTrials != 0 {
+		panic("montecarlo: range must be shard-aligned and inside [0, Trials)")
+	}
 }
 
 // NodeGroups summarizes a node-level result into the §III-D3 scheduler

@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -222,7 +223,11 @@ type Cache struct {
 	obsHits, obsMisses, obsCorrupt, obsPuts, obsPutErrors *obs.Counter
 }
 
-// Open creates (if needed) and returns the cache rooted at dir.
+// Open creates (if needed) and returns the cache rooted at dir. Orphaned
+// temporary files — left behind by a writer killed between CreateTemp
+// and the atomic rename — are swept on open; only temps older than
+// staleTempAge are removed, so in-flight Puts by live processes sharing
+// the directory are never disturbed.
 func Open(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runcache: empty cache directory")
@@ -230,7 +235,33 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("runcache: %w", err)
 	}
+	sweepStaleTemps(dir)
 	return &Cache{dir: dir}, nil
+}
+
+// staleTempAge is how old an orphaned temp file must be before Open
+// removes it. A live Put holds its temp for well under a second; an hour
+// leaves orders of magnitude of slack even for heavily stalled writers.
+const staleTempAge = time.Hour
+
+// sweepStaleTemps removes old ".<key>.tmp*" droppings. Best-effort: a
+// sweep failure never blocks opening the cache, and a concurrently
+// renamed or re-swept file is simply gone by the time Remove runs.
+func sweepStaleTemps(dir string) {
+	cutoff := time.Now().Add(-staleTempAge)
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(path)
+		if !strings.HasPrefix(base, ".") || !strings.Contains(base, ".tmp") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil && info.ModTime().Before(cutoff) {
+			os.Remove(path)
+		}
+		return nil
+	})
 }
 
 // Dir returns the cache's root directory.

@@ -1,0 +1,192 @@
+package runcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOpenSweepsStaleTemps: a writer killed mid-Put leaves a temp file
+// behind; Open removes it once it is old enough, but never touches a
+// fresh temp (which may belong to a live writer in another process) or
+// the real entries.
+func TestOpenSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf("v1", "kept")
+	if err := c.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Dir(c.path(k))
+	stale := filepath.Join(shard, "."+k.String()+".tmp123")
+	fresh := filepath.Join(shard, "."+k.String()+".tmp456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp survived reopen: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp removed by reopen: %v", err)
+	}
+	if got, ok := c2.Get(k); !ok || string(got) != "payload" {
+		t.Errorf("entry lost across sweep: ok=%v got=%q", ok, got)
+	}
+}
+
+// Shared-key workload for the cross-process stress test. Every party
+// (goroutine or subprocess) puts the same nSharedKeys entries — with
+// byte-identical payloads, as content addressing guarantees in real use —
+// plus one unique entry of its own, while hammering Gets on the shared
+// keys. The invariants: a Get either misses or returns the exact
+// payload (no torn reads — a short, corrupt, or mixed file would fail
+// verification and count as Corrupt), and after the dust settles every
+// key is materialized with the right bytes and no temp droppings remain.
+const (
+	nSharedKeys    = 8
+	nStressParties = 4
+	stressRounds   = 30
+)
+
+func stressKey(i int) Key { return KeyOf("stress", i) }
+
+// stressPayload is a few KB so a torn write would be observable, with
+// content derived from the key index so every party writes identical
+// bytes.
+func stressPayload(i int) []byte {
+	var b bytes.Buffer
+	for n := 0; n < 256; n++ {
+		fmt.Fprintf(&b, "entry %d line %d\n", i, n)
+	}
+	return b.Bytes()
+}
+
+func uniqueKey(party string) Key { return KeyOf("stress-unique", party) }
+
+// stressParty runs one writer/reader party against the shared directory.
+func stressParty(t *testing.T, c *Cache, party string) {
+	t.Helper()
+	for round := 0; round < stressRounds; round++ {
+		for i := 0; i < nSharedKeys; i++ {
+			k := stressKey(i)
+			if round%2 == 0 {
+				if err := c.Put(k, stressPayload(i)); err != nil {
+					t.Errorf("%s: put %d: %v", party, i, err)
+				}
+			}
+			if got, ok := c.Get(k); ok && !bytes.Equal(got, stressPayload(i)) {
+				t.Errorf("%s: torn/wrong read on key %d (%d bytes)", party, i, len(got))
+			}
+		}
+	}
+	if err := c.Put(uniqueKey(party), []byte("unique "+party)); err != nil {
+		t.Errorf("%s: unique put: %v", party, err)
+	}
+}
+
+// TestHelperPutter is not a test: it is the subprocess body for
+// TestConcurrentPutStress, gated on the environment so a normal `go
+// test` run skips it.
+func TestHelperPutter(t *testing.T) {
+	dir := os.Getenv("RUNCACHE_STRESS_DIR")
+	if dir == "" {
+		t.Skip("subprocess helper for TestConcurrentPutStress")
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stressParty(t, c, "proc-"+os.Getenv("RUNCACHE_STRESS_ID"))
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Errorf("subprocess observed %d corrupt reads", st.Corrupt)
+	}
+}
+
+// TestConcurrentPutStress drives N goroutines and N separate processes
+// through interleaved Puts and Gets of the same and distinct keys in one
+// shared directory — the coordinator/worker sharing pattern. Readers
+// must never observe torn entries, concurrent same-key writers must
+// converge on one verified file, and no temp files may leak.
+func TestConcurrentPutStress(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	procErrs := make([]error, nStressParties)
+	procOuts := make([]bytes.Buffer, nStressParties)
+	for p := 0; p < nStressParties; p++ {
+		wg.Add(2)
+		go func(p int) {
+			defer wg.Done()
+			stressParty(t, c, "goroutine-"+strconv.Itoa(p))
+		}(p)
+		go func(p int) {
+			defer wg.Done()
+			cmd := exec.Command(os.Args[0], "-test.run=^TestHelperPutter$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"RUNCACHE_STRESS_DIR="+dir,
+				"RUNCACHE_STRESS_ID="+strconv.Itoa(p))
+			cmd.Stdout, cmd.Stderr = &procOuts[p], &procOuts[p]
+			procErrs[p] = cmd.Run()
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range procErrs {
+		if err != nil {
+			t.Errorf("subprocess %d: %v\n%s", p, err, procOuts[p].String())
+		}
+	}
+
+	// Final state: every shared and unique key is materialized with the
+	// exact payload, verified through a fresh cache handle.
+	final, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nSharedKeys; i++ {
+		got, ok := final.Get(stressKey(i))
+		if !ok || !bytes.Equal(got, stressPayload(i)) {
+			t.Errorf("shared key %d not materialized correctly (ok=%v)", i, ok)
+		}
+	}
+	for p := 0; p < nStressParties; p++ {
+		for _, party := range []string{"goroutine-" + strconv.Itoa(p), "proc-" + strconv.Itoa(p)} {
+			if got, ok := final.Get(uniqueKey(party)); !ok || string(got) != "unique "+party {
+				t.Errorf("unique key for %s not materialized (ok=%v got=%q)", party, ok, got)
+			}
+		}
+	}
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Errorf("in-process parties observed %d corrupt (torn) reads", st.Corrupt)
+	}
+	if st := final.Stats(); st.Corrupt != 0 {
+		t.Errorf("final verification observed %d corrupt entries", st.Corrupt)
+	}
+	temps, _ := filepath.Glob(filepath.Join(dir, "*", ".*tmp*"))
+	if len(temps) != 0 {
+		t.Errorf("temp files leaked: %v", temps)
+	}
+}

@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runcache"
+)
+
+// CLI is the flag surface the experiment CLIs share for coordinator and
+// worker modes. Registering it adds -worker/-worker-addr (worker mode),
+// -shard/-shard-workers (coordinator mode), and -cache-dir (the store
+// both sides share).
+type CLI struct {
+	Worker     bool
+	WorkerAddr string
+	Workers    string
+	Spawn      int
+	CacheDir   string
+}
+
+// Register installs the shard flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Worker, "worker", false, "run as a shard worker: serve the /shard/v1 unit API instead of running experiments")
+	fs.StringVar(&c.WorkerAddr, "worker-addr", "127.0.0.1:0", "listen address in -worker mode")
+	fs.StringVar(&c.Workers, "shard", "", "comma-separated shard worker base URLs (e.g. http://127.0.0.1:8481,http://10.0.0.2:8481)")
+	fs.IntVar(&c.Spawn, "shard-workers", 0, "spawn this many local shard worker subprocesses for this run")
+	fs.StringVar(&c.CacheDir, "cache-dir", "", "content-addressed run cache directory (shared with workers)")
+}
+
+// Sharding reports whether any coordinator-side fan-out was requested.
+func (c *CLI) Sharding() bool { return c.Workers != "" || c.Spawn > 0 }
+
+// ServeWorker runs the worker main loop for the flags: open the cache,
+// listen on WorkerAddr, announce the URL on stdout, serve until
+// SIGINT/SIGTERM. Returns a process exit code.
+func (c *CLI) ServeWorker(name string, reg *obs.Registry) int {
+	var cache *runcache.Cache
+	if c.CacheDir != "" {
+		var err error
+		cache, err = runcache.Open(c.CacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: open cache: %v\n", name, err)
+			return 1
+		}
+		cache.Observe(reg, name+"/runcache")
+	}
+	return ServeWorkerOn(name, c.WorkerAddr, runcache.CodeVersion(), cache, reg)
+}
+
+// ServeWorkerOn serves the worker API on addr until SIGINT/SIGTERM. The
+// "listening on http://..." stdout line is the startup handshake both
+// SpawnLocal and scripts/shard_smoke.sh scrape for the bound address.
+func ServeWorkerOn(name, addr, version string, cache *runcache.Cache, reg *obs.Registry) int {
+	w := NewWorker(version, cache, reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: listen: %v\n", name, err)
+		return 1
+	}
+	fmt.Printf("%s worker listening on http://%s\n", name, ln.Addr())
+	hs := &http.Server{Handler: w.Handler()}
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		close(idle)
+	}()
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "%s: serve: %v\n", name, err)
+		return 1
+	}
+	<-idle
+	return 0
+}
+
+// Pool builds the coordinator side from the flags: parse -shard URLs,
+// spawn -shard-workers local subprocesses sharing -cache-dir, open the
+// cache. pool is nil when no sharding was requested (the cache may still
+// be non-nil: -cache-dir alone enables the persistent layer). cleanup
+// stops any spawned workers and must be called even on error-free runs.
+func (c *CLI) Pool(reg *obs.Registry) (pool *Pool, cache *runcache.Cache, cleanup func(), err error) {
+	cleanup = func() {}
+	if c.CacheDir != "" {
+		cache, err = runcache.Open(c.CacheDir)
+		if err != nil {
+			return nil, nil, cleanup, fmt.Errorf("open cache: %w", err)
+		}
+	}
+	var urls []string
+	if c.Workers != "" {
+		for _, u := range strings.Split(c.Workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimSuffix(u, "/"))
+			}
+		}
+	}
+	if c.Spawn > 0 {
+		spawned, stop, err := SpawnLocal(c.Spawn, c.CacheDir)
+		if err != nil {
+			return nil, nil, cleanup, fmt.Errorf("spawn workers: %w", err)
+		}
+		cleanup = stop
+		urls = append(urls, spawned...)
+	}
+	if len(urls) == 0 {
+		return nil, cache, cleanup, nil
+	}
+	return NewPool(PoolOptions{Workers: urls, Cache: cache, Reg: reg}), cache, cleanup, nil
+}
+
+// SpawnLocal starts n copies of the current executable in -worker mode
+// on ephemeral ports, sharing cacheDir when non-empty, and returns their
+// base URLs plus a stop function (SIGTERM, then kill after a grace
+// period). The worker address is scraped from each child's announced
+// "listening on http://..." stdout line.
+func SpawnLocal(n int, cacheDir string) (urls []string, stop func(), err error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	var procs []*exec.Cmd
+	stop = func() {
+		for _, cmd := range procs {
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+		}
+		for _, cmd := range procs {
+			waited := make(chan struct{})
+			go func(cmd *exec.Cmd) { _ = cmd.Wait(); close(waited) }(cmd)
+			select {
+			case <-waited:
+			case <-time.After(5 * time.Second):
+				_ = cmd.Process.Kill()
+				<-waited
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		args := []string{"-worker", "-worker-addr", "127.0.0.1:0"}
+		if cacheDir != "" {
+			args = append(args, "-cache-dir", cacheDir)
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		procs = append(procs, cmd)
+		url, err := scanWorkerURL(out)
+		if err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		urls = append(urls, url)
+	}
+	return urls, stop, nil
+}
+
+// scanWorkerURL reads the child's stdout until the announce line.
+func scanWorkerURL(out io.Reader) (string, error) {
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 && strings.Contains(line, "listening on") {
+			return strings.TrimSpace(line[i:]), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("worker exited before announcing its address")
+}

@@ -1,0 +1,301 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runcache"
+)
+
+// PoolOptions configure a coordinator-side dispatch pool.
+type PoolOptions struct {
+	// Workers are worker base URLs ("http://host:port"). Empty means
+	// every unit executes locally in the coordinator process.
+	Workers []string
+	// Cache, when non-nil, is consulted before dispatching a unit and
+	// filled by local fallback executions. Workers sharing the same
+	// store make warm reruns zero-dispatch as well as zero-compute.
+	Cache *runcache.Cache
+	// InFlight bounds concurrently outstanding units per worker
+	// (default 2: one on the wire while one computes keeps a worker
+	// busy without queueing work a failed worker would strand).
+	InFlight int
+	// Timeout bounds one unit's round trip; an expired dispatch counts
+	// as a failure and the unit is requeued (default 2m). The unit the
+	// straggler eventually finishes is discarded by the client — only
+	// the positional commit of the retried dispatch lands.
+	Timeout time.Duration
+	// Retries is the number of remote attempts per unit before the
+	// coordinator gives up on the fleet and computes it locally
+	// (default 3).
+	Retries int
+	// DeadAfter marks a worker dead after this many consecutive
+	// failures (default 3); its in-flight slots then execute units
+	// locally, so progress is guaranteed even with every worker down.
+	DeadAfter int
+	// Reg receives the shard/* dispatch counters (nil-safe).
+	Reg *obs.Registry
+}
+
+// Pool dispatches units to a worker fleet and merges results in
+// positional order. It is safe for concurrent use; each Run call is
+// independent.
+type Pool struct {
+	workers   []*remoteWorker
+	cache     *runcache.Cache
+	client    *http.Client
+	inFlight  int
+	timeout   time.Duration
+	retries   int
+	deadAfter int
+
+	unitsC     *obs.Counter
+	dispatched *obs.Counter
+	completed  *obs.Counter
+	retriesC   *obs.Counter
+	requeuedC  *obs.Counter
+	timeoutsC  *obs.Counter
+	deathsC    *obs.Counter
+	computedC  *obs.Counter
+	cacheHits  *obs.Counter
+	localC     *obs.Counter
+}
+
+type remoteWorker struct {
+	url   string
+	fails atomic.Int32
+	dead  atomic.Bool
+}
+
+// UnitResult is one merged slot: the cache-entry payload plus whether
+// any process in the fleet actually computed it for this Run.
+type UnitResult struct {
+	Payload  []byte
+	Computed bool
+}
+
+// NewPool returns a dispatch pool over the given workers.
+func NewPool(o PoolOptions) *Pool {
+	if o.InFlight <= 0 {
+		o.InFlight = 2
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Minute
+	}
+	if o.Retries <= 0 {
+		o.Retries = 3
+	}
+	if o.DeadAfter <= 0 {
+		o.DeadAfter = 3
+	}
+	p := &Pool{
+		cache:     o.Cache,
+		client:    &http.Client{},
+		inFlight:  o.InFlight,
+		timeout:   o.Timeout,
+		retries:   o.Retries,
+		deadAfter: o.DeadAfter,
+
+		unitsC:     o.Reg.Counter("shard/units"),
+		dispatched: o.Reg.Counter("shard/dispatched"),
+		completed:  o.Reg.Counter("shard/completed"),
+		retriesC:   o.Reg.Counter("shard/retries"),
+		requeuedC:  o.Reg.Counter("shard/requeued"),
+		timeoutsC:  o.Reg.Counter("shard/timeouts"),
+		deathsC:    o.Reg.Counter("shard/worker_deaths"),
+		computedC:  o.Reg.Counter("shard/computed"),
+		cacheHits:  o.Reg.Counter("shard/cache_hits"),
+		localC:     o.Reg.Counter("shard/local"),
+	}
+	for _, u := range o.Workers {
+		p.workers = append(p.workers, &remoteWorker{url: u})
+	}
+	return p
+}
+
+// NumWorkers reports the configured fleet size.
+func (p *Pool) NumWorkers() int { return len(p.workers) }
+
+// runState is the per-Run coordination block. Requeues go back onto
+// tasks (buffered to len(units), so a send never blocks: every index is
+// either in the channel or held by exactly one goroutine); done closes
+// when the last slot commits.
+type runState struct {
+	units    []Unit
+	out      []UnitResult
+	attempts []int
+	tasks    chan int
+	left     atomic.Int64
+	once     sync.Once
+	done     chan struct{}
+}
+
+// commit lands slot i. Each index is held by exactly one goroutine at a
+// time (claimed from tasks, then either committed or requeued, never
+// both), so every slot commits exactly once.
+func (st *runState) commit(i int, r UnitResult) {
+	st.out[i] = r
+	if st.left.Add(-1) == 0 {
+		st.once.Do(func() { close(st.done) })
+	}
+}
+
+// Run executes the units and returns their results in input order — the
+// ordered merge. Results are buffered into their positional slot as they
+// arrive; callers consume the returned slice sequentially, so downstream
+// rendering is byte-identical to a sequential run regardless of worker
+// count, arrival order, or mid-run worker failures.
+func (p *Pool) Run(units []Unit) []UnitResult {
+	n := len(units)
+	out := make([]UnitResult, n)
+	p.unitsC.Add(uint64(n))
+
+	// Local cache pass: a warm shared store satisfies every slot here,
+	// making the rerun zero-dispatch fleet-wide.
+	remaining := make([]int, 0, n)
+	for i, u := range units {
+		if p.cache != nil {
+			if k, err := u.runKey(); err == nil {
+				if payload, ok := p.cache.Get(k); ok {
+					out[i] = UnitResult{Payload: payload}
+					p.cacheHits.Add(1)
+					continue
+				}
+			}
+		}
+		remaining = append(remaining, i)
+	}
+	if len(remaining) == 0 {
+		return out
+	}
+	if len(p.workers) == 0 {
+		for _, i := range remaining {
+			out[i] = p.runLocal(units[i])
+		}
+		return out
+	}
+
+	st := &runState{
+		units:    units,
+		out:      out,
+		attempts: make([]int, n),
+		tasks:    make(chan int, n),
+		done:     make(chan struct{}),
+	}
+	st.left.Store(int64(len(remaining)))
+	for _, i := range remaining {
+		st.tasks <- i
+	}
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		for s := 0; s < p.inFlight; s++ {
+			wg.Add(1)
+			go func(w *remoteWorker) {
+				defer wg.Done()
+				for {
+					select {
+					case <-st.done:
+						return
+					case i := <-st.tasks:
+						p.runOne(w, i, st)
+					}
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	return out
+}
+
+// runOne processes one claimed unit on one worker slot: dispatch, and on
+// failure either requeue (another worker will claim it) or — once the
+// retry budget is spent or the worker is dead — execute locally, so
+// every unit completes even if the whole fleet is gone.
+func (p *Pool) runOne(w *remoteWorker, i int, st *runState) {
+	u := st.units[i]
+	if w.dead.Load() {
+		st.commit(i, p.runLocal(u))
+		return
+	}
+	res, err := p.post(w, u)
+	if err == nil {
+		w.fails.Store(0)
+		p.completed.Add(1)
+		if res.Computed {
+			p.computedC.Add(1)
+		}
+		st.commit(i, UnitResult{Payload: res.Payload, Computed: res.Computed})
+		return
+	}
+	p.retriesC.Add(1)
+	if errors.Is(err, context.DeadlineExceeded) {
+		p.timeoutsC.Add(1)
+	}
+	if w.fails.Add(1) == int32(p.deadAfter) {
+		if !w.dead.Swap(true) {
+			p.deathsC.Add(1)
+		}
+	}
+	st.attempts[i]++
+	if st.attempts[i] >= p.retries {
+		st.commit(i, p.runLocal(u))
+		return
+	}
+	p.requeuedC.Add(1)
+	st.tasks <- i
+}
+
+// runLocal is the coordinator-side fallback: execute the unit in
+// process, against the same cache. A unit that cannot execute at all
+// (malformed by construction) panics, exactly as the sequential engine
+// would.
+func (p *Pool) runLocal(u Unit) UnitResult {
+	p.localC.Add(1)
+	payload, computed, err := Execute(u, p.cache)
+	if err != nil {
+		panic(fmt.Sprintf("shard: local execution of unit %s: %v", u.Key, err))
+	}
+	return UnitResult{Payload: payload, Computed: computed}
+}
+
+// post round-trips one unit to one worker with the pool's timeout.
+func (p *Pool) post(w *remoteWorker, u Unit) (unitResponse, error) {
+	body, err := json.Marshal(u)
+	if err != nil {
+		return unitResponse{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/shard/v1/unit", bytes.NewReader(body))
+	if err != nil {
+		return unitResponse{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	p.dispatched.Add(1)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return unitResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return unitResponse{}, fmt.Errorf("shard: worker %s: %s: %s", w.url, resp.Status, bytes.TrimSpace(msg))
+	}
+	var out unitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return unitResponse{}, fmt.Errorf("shard: worker %s: decode response: %v", w.url, err)
+	}
+	if out.Key != u.Key {
+		return unitResponse{}, fmt.Errorf("shard: worker %s answered key %s for unit %s", w.url, out.Key, u.Key)
+	}
+	return out, nil
+}

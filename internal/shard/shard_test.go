@@ -1,0 +1,410 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dramspec"
+	"repro/internal/montecarlo"
+	"repro/internal/obs"
+	"repro/internal/runcache"
+)
+
+const testVersion = "shard-test-v1"
+
+func mcConfig() montecarlo.Config {
+	return montecarlo.Config{
+		ModulesPerChannel: 2,
+		ChannelsPerNode:   4,
+		Trials:            8 * montecarlo.ShardTrials,
+		MeanMTs:           780,
+		StdevMTs:          190,
+		SpecRate:          dramspec.DDR4_3200,
+		Seed:              42,
+	}
+}
+
+// mcUnits carves the trial space into one unit per RNG shard.
+func mcUnits() []Unit {
+	cfg := mcConfig()
+	var units []Unit
+	for lo := 0; lo < cfg.Trials; lo += montecarlo.ShardTrials {
+		units = append(units, NewMCUnit(testVersion, cfg, montecarlo.MarginAware, LevelChannel, lo, lo+montecarlo.ShardTrials))
+	}
+	return units
+}
+
+// seqPayloads executes the units one by one with no cache — the
+// sequential baseline every pool configuration must reproduce byte for
+// byte.
+func seqPayloads(t *testing.T, units []Unit) [][]byte {
+	t.Helper()
+	out := make([][]byte, len(units))
+	for i, u := range units {
+		p, computed, err := Execute(u, nil)
+		if err != nil {
+			t.Fatalf("sequential execute %d: %v", i, err)
+		}
+		if !computed {
+			t.Fatalf("sequential execute %d did not compute", i)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func checkMerged(t *testing.T, units []Unit, out []UnitResult, want [][]byte) {
+	t.Helper()
+	if len(out) != len(units) {
+		t.Fatalf("got %d results for %d units", len(out), len(units))
+	}
+	for i := range out {
+		if !bytes.Equal(out[i].Payload, want[i]) {
+			t.Errorf("slot %d payload diverges from sequential run", i)
+		}
+	}
+}
+
+func TestUnitKeyRoundTripsJSON(t *testing.T) {
+	units := mcUnits()
+	wire, err := json.Marshal(units[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Unit
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	k, err := decoded.runKey()
+	if err != nil {
+		t.Fatalf("decoded unit fails key verification: %v", err)
+	}
+	if k.String() != units[0].Key {
+		t.Fatalf("key changed across JSON: %s != %s", k, units[0].Key)
+	}
+
+	tampered := decoded
+	tampered.MC = &MCUnit{}
+	*tampered.MC = *decoded.MC
+	tampered.MC.Lo += montecarlo.ShardTrials
+	tampered.MC.Hi += montecarlo.ShardTrials
+	if _, err := tampered.runKey(); err == nil {
+		t.Error("tampered material passed key verification")
+	}
+
+	withWorkers := decoded
+	withWorkers.MC = &MCUnit{}
+	*withWorkers.MC = *decoded.MC
+	withWorkers.MC.Cfg.Workers = 8
+	if _, err := withWorkers.runKey(); err == nil {
+		t.Error("unit carrying a Workers fan-out width passed verification")
+	}
+
+	if _, err := (Unit{Type: "bogus"}).runKey(); err == nil {
+		t.Error("unknown unit type passed verification")
+	}
+}
+
+// TestRangeUnitsReproduceFullRun: decoding and concatenating the units'
+// payloads reproduces the in-process Monte-Carlo run bit for bit — the
+// determinism the ordered merge builds on.
+func TestRangeUnitsReproduceFullRun(t *testing.T) {
+	cfg := mcConfig()
+	full := montecarlo.ChannelLevel(cfg, montecarlo.MarginAware)
+	var merged []float64
+	for _, p := range seqPayloads(t, mcUnits()) {
+		vals, err := DecodeMargins(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, vals...)
+	}
+	if len(merged) != len(full.Margins) {
+		t.Fatalf("merged %d margins, want %d", len(merged), len(full.Margins))
+	}
+	for i := range merged {
+		if merged[i] != full.Margins[i] {
+			t.Fatalf("margin %d diverges: %v != %v", i, merged[i], full.Margins[i])
+		}
+	}
+}
+
+func newTestWorker(t *testing.T, cacheDir string) (*httptest.Server, *obs.Registry) {
+	t.Helper()
+	var cache *runcache.Cache
+	if cacheDir != "" {
+		var err error
+		cache, err = runcache.Open(cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(NewWorker(testVersion, cache, reg).Handler())
+	t.Cleanup(srv.Close)
+	return srv, reg
+}
+
+func TestWorkerHandler(t *testing.T) {
+	dir := t.TempDir()
+	srv, reg := newTestWorker(t, dir)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+
+	u := mcUnits()[0]
+	post := func(body []byte) (*http.Response, unitResponse) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/shard/v1/unit", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out unitResponse
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp, out
+	}
+	wire, _ := json.Marshal(u)
+
+	resp, out := post(wire)
+	if resp.StatusCode != http.StatusOK || out.Key != u.Key || !out.Computed {
+		t.Fatalf("cold unit: status %s key %s computed %v", resp.Status, out.Key, out.Computed)
+	}
+	want := seqPayloads(t, []Unit{u})[0]
+	if !bytes.Equal(out.Payload, want) {
+		t.Error("worker payload diverges from local execution")
+	}
+
+	// Same unit again: served from the shared cache, not recomputed.
+	resp, out = post(wire)
+	if resp.StatusCode != http.StatusOK || out.Computed {
+		t.Fatalf("warm unit recomputed (status %s)", resp.Status)
+	}
+	if !bytes.Equal(out.Payload, want) {
+		t.Error("cached payload diverges")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["shard/worker/computed"] != 1 || snap.Counters["shard/worker/cache_hits"] != 1 {
+		t.Errorf("worker counters %v", snap.Counters)
+	}
+
+	skewed := u
+	skewed.Version = "other-build"
+	wire2, _ := json.Marshal(skewed)
+	if resp, _ := post(wire2); resp.StatusCode != http.StatusConflict {
+		t.Errorf("version skew answered %s, want 409", resp.Status)
+	}
+	if resp, _ := post([]byte("{not json")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body answered %s, want 400", resp.Status)
+	}
+}
+
+func TestPoolNoWorkersRunsLocally(t *testing.T) {
+	units := mcUnits()
+	want := seqPayloads(t, units)
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{Reg: reg})
+	checkMerged(t, units, p.Run(units), want)
+	snap := reg.Snapshot()
+	if snap.Counters["shard/local"] != uint64(len(units)) {
+		t.Errorf("local count %d, want %d", snap.Counters["shard/local"], len(units))
+	}
+}
+
+// TestPoolOrderedMergeByteIdentical: two workers over a shared cache
+// produce the sequential byte sequence in input order, and a warm rerun
+// is all cache hits with zero dispatches and zero computation.
+func TestPoolOrderedMergeByteIdentical(t *testing.T) {
+	units := mcUnits()
+	want := seqPayloads(t, units)
+	dir := t.TempDir()
+	w1, _ := newTestWorker(t, dir)
+	w2, _ := newTestWorker(t, dir)
+	cache, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{Workers: []string{w1.URL, w2.URL}, Cache: cache, Reg: reg})
+	checkMerged(t, units, p.Run(units), want)
+	snap := reg.Snapshot()
+	if snap.Counters["shard/completed"] != uint64(len(units)) {
+		t.Errorf("completed %d, want %d", snap.Counters["shard/completed"], len(units))
+	}
+	if snap.Counters["shard/computed"] != uint64(len(units)) {
+		t.Errorf("computed %d, want %d", snap.Counters["shard/computed"], len(units))
+	}
+
+	reg2 := obs.NewRegistry()
+	p2 := NewPool(PoolOptions{Workers: []string{w1.URL, w2.URL}, Cache: cache, Reg: reg2})
+	checkMerged(t, units, p2.Run(units), want)
+	snap2 := reg2.Snapshot()
+	if snap2.Counters["shard/cache_hits"] != uint64(len(units)) {
+		t.Errorf("warm rerun cache hits %d, want %d", snap2.Counters["shard/cache_hits"], len(units))
+	}
+	if snap2.Counters["shard/dispatched"] != 0 || snap2.Counters["shard/computed"] != 0 {
+		t.Errorf("warm rerun dispatched %d computed %d, want 0/0",
+			snap2.Counters["shard/dispatched"], snap2.Counters["shard/computed"])
+	}
+}
+
+// flakyProxy fronts a healthy worker and starts failing every request
+// after `healthy` successes — a worker death mid-suite as the
+// coordinator observes it (the process answering 503s; a TCP-level kill
+// surfaces as a transport error and takes the same failure path).
+type flakyProxy struct {
+	inner   http.Handler
+	served  atomic.Int64
+	healthy int64
+}
+
+func (f *flakyProxy) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	if f.served.Add(1) > f.healthy {
+		http.Error(rw, "worker going down", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(rw, r)
+}
+
+// TestPoolWorkerDeathMidRun kills one of two workers after two served
+// units: the pool must mark it dead after DeadAfter consecutive
+// failures, requeue its claimed units, and still merge the exact
+// sequential bytes.
+func TestPoolWorkerDeathMidRun(t *testing.T) {
+	units := mcUnits()
+	want := seqPayloads(t, units)
+	dir := t.TempDir()
+	healthy, _ := newTestWorker(t, dir)
+
+	cache, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyingReg := obs.NewRegistry()
+	dying := httptest.NewServer(&flakyProxy{inner: NewWorker(testVersion, nil, dyingReg).Handler(), healthy: 2})
+	defer dying.Close()
+
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{
+		Workers:   []string{dying.URL, healthy.URL},
+		Cache:     cache,
+		Reg:       reg,
+		Retries:   4,
+		DeadAfter: 2,
+	})
+	checkMerged(t, units, p.Run(units), want)
+
+	snap := reg.Snapshot()
+	if snap.Counters["shard/worker_deaths"] != 1 {
+		t.Errorf("worker_deaths %d, want 1", snap.Counters["shard/worker_deaths"])
+	}
+	if snap.Counters["shard/retries"] == 0 {
+		t.Error("no retries counted despite a dying worker")
+	}
+	// Every counted retry put its unit back on the queue (local
+	// fallbacks and dead-worker slot commits account for the rest), and
+	// the dying worker's in-flight units were in fact requeued.
+	if snap.Counters["shard/requeued"] > snap.Counters["shard/retries"] {
+		t.Errorf("requeued %d exceeds retries %d",
+			snap.Counters["shard/requeued"], snap.Counters["shard/retries"])
+	}
+	if snap.Counters["shard/requeued"] == 0 {
+		t.Error("no units requeued despite a worker dying mid-run")
+	}
+}
+
+// TestPoolAllWorkersDead: with the whole fleet failing, every unit falls
+// back to local execution and the run still completes with sequential
+// bytes.
+func TestPoolAllWorkersDead(t *testing.T) {
+	units := mcUnits()[:4]
+	want := seqPayloads(t, units)
+	down := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		http.Error(rw, "down", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{Workers: []string{down.URL}, Reg: reg, Retries: 1, DeadAfter: 1})
+	checkMerged(t, units, p.Run(units), want)
+	snap := reg.Snapshot()
+	if snap.Counters["shard/local"] != uint64(len(units)) {
+		t.Errorf("local %d, want %d", snap.Counters["shard/local"], len(units))
+	}
+	if snap.Counters["shard/worker_deaths"] != 1 {
+		t.Errorf("worker_deaths %d, want 1", snap.Counters["shard/worker_deaths"])
+	}
+}
+
+// TestPoolStragglerTimeout: a worker that accepts units and never
+// answers must not stall the suite — the dispatch times out, the unit is
+// retried elsewhere (or locally), and the merge still matches.
+func TestPoolStragglerTimeout(t *testing.T) {
+	units := mcUnits()[:4]
+	want := seqPayloads(t, units)
+	dir := t.TempDir()
+	healthy, _ := newTestWorker(t, dir)
+	release := make(chan struct{})
+	stalled := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		// Hold the unit until the test ends (not until request-context
+		// cancellation, which would leave Close waiting on the handler).
+		<-release
+	}))
+	defer stalled.Close()
+	defer close(release)
+
+	cache, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{
+		Workers:   []string{stalled.URL, healthy.URL},
+		Cache:     cache,
+		Reg:       reg,
+		Timeout:   150 * time.Millisecond,
+		Retries:   3,
+		DeadAfter: 2,
+	})
+	done := make(chan []UnitResult, 1)
+	go func() { done <- p.Run(units) }()
+	select {
+	case out := <-done:
+		checkMerged(t, units, out, want)
+	case <-time.After(30 * time.Second):
+		t.Fatal("straggler stalled the whole run")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["shard/timeouts"] == 0 {
+		t.Error("no timeouts counted despite a stalled worker")
+	}
+}
+
+// TestPoolRejectsWrongKeyAnswer: a worker answering with a different key
+// than asked must be treated as a failure, never committed.
+func TestPoolRejectsWrongKeyAnswer(t *testing.T) {
+	units := mcUnits()[:2]
+	want := seqPayloads(t, units)
+	liar := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(unitResponse{Key: strings.Repeat("ab", 32), Computed: true, Payload: []byte("junk")})
+	}))
+	defer liar.Close()
+
+	reg := obs.NewRegistry()
+	p := NewPool(PoolOptions{Workers: []string{liar.URL}, Reg: reg, Retries: 1, DeadAfter: 1})
+	checkMerged(t, units, p.Run(units), want)
+	if snap := reg.Snapshot(); snap.Counters["shard/retries"] == 0 {
+		t.Error("mis-keyed answers were not counted as failures")
+	}
+}

@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/runcache"
+)
+
+// Worker executes units on behalf of a coordinator. It is an http.Handler
+// factory: one POST /shard/v1/unit endpoint plus /healthz, stateless
+// between requests except for the shared run cache — all coordination
+// (ordering, retries, dedup) lives on the coordinator side, so any
+// number of coordinators can share a worker fleet.
+type Worker struct {
+	version string
+	cache   *runcache.Cache
+
+	units    *obs.Counter
+	computed *obs.Counter
+	hits     *obs.Counter
+	errors   *obs.Counter
+}
+
+// unitResponse is the wire reply to one executed unit. Payload is the
+// exact cache-entry byte sequence (base64 on the wire via encoding/json).
+type unitResponse struct {
+	Key      string `json:"key"`
+	Computed bool   `json:"computed"`
+	Payload  []byte `json:"payload"`
+}
+
+// NewWorker returns a worker that refuses units keyed under any version
+// but its own (409) — a skewed coordinator must not poison the shared
+// cache — and consults/fills cache (nil = compute-only).
+func NewWorker(version string, cache *runcache.Cache, reg *obs.Registry) *Worker {
+	return &Worker{
+		version:  version,
+		cache:    cache,
+		units:    reg.Counter("shard/worker/units"),
+		computed: reg.Counter("shard/worker/computed"),
+		hits:     reg.Counter("shard/worker/cache_hits"),
+		errors:   reg.Counter("shard/worker/errors"),
+	}
+}
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]string{"status": "ok", "version": w.version})
+	})
+	mux.HandleFunc("POST /shard/v1/unit", w.handleUnit)
+	return mux
+}
+
+func (w *Worker) handleUnit(rw http.ResponseWriter, r *http.Request) {
+	var u Unit
+	if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+		w.errors.Add(1)
+		writeError(rw, http.StatusBadRequest, fmt.Sprintf("decode unit: %v", err))
+		return
+	}
+	if u.Version != w.version {
+		w.errors.Add(1)
+		writeError(rw, http.StatusConflict,
+			fmt.Sprintf("version mismatch: unit %q, worker %q", u.Version, w.version))
+		return
+	}
+	w.units.Add(1)
+	payload, computed, err := w.execute(u)
+	if err != nil {
+		w.errors.Add(1)
+		writeError(rw, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if computed {
+		w.computed.Add(1)
+	} else {
+		w.hits.Add(1)
+	}
+	writeJSON(rw, http.StatusOK, unitResponse{Key: u.Key, Computed: computed, Payload: payload})
+}
+
+// execute wraps Execute with panic recovery: a malformed configuration
+// panics deep in the simulator (node.MustRun's contract), and a worker
+// must answer 500 and stay up rather than take the whole fleet slot
+// down.
+func (w *Worker) execute(u Unit) (payload []byte, computed bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("unit %s panicked: %v", u.Key, p)
+		}
+	}()
+	return Execute(u, w.cache)
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func writeError(rw http.ResponseWriter, status int, msg string) {
+	writeJSON(rw, status, map[string]string{"error": msg})
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/runcache"
+	"repro/internal/shard"
 )
 
 // Config configures a Server.
@@ -49,6 +50,11 @@ type Config struct {
 	// and simulation counts (nil = a fresh registry; read it with
 	// Registry).
 	Reg *obs.Registry
+	// Shard, when non-nil, fans each job's node-simulation matrix and
+	// Monte-Carlo ranges out to shard worker processes (see
+	// internal/shard). Jobs with Check set run locally — instrumented
+	// runs never shard — and output stays byte-identical either way.
+	Shard *shard.Pool
 }
 
 // JobSpec is the client-visible experiment specification. Its normalized
@@ -402,6 +408,7 @@ func (s *Server) runJob(j *Job, sem chan struct{}) {
 		Check:        j.Spec.Check,
 		Cache:        s.cfg.Cache,
 		CacheVersion: s.version,
+		Shard:        s.cfg.Shard,
 	})
 	entries := j.Spec.entries()
 	tables := parallel.Map(s.cfg.Workers, entries, func(_ int, e experiments.Entry) *report.Table {
