@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: all build test race lint fmt vet analyze alloc-gate fuzz check smoke-simd smoke-shard bench bench-compare bench-smoke ci
+.PHONY: all build test race lint fmt vet analyze alloc-gate fuzz check smoke-simd smoke-shard smoke-chaos bench bench-compare bench-smoke ci
 
 all: build test lint
 
@@ -17,7 +17,7 @@ race:
 	$(GO) test -race ./...
 
 # lint is the full static-analysis gate CI runs: formatting, vet, and the
-# seven-analyzer lint suite (see "Static analysis" in README.md).
+# eight-analyzer lint suite (see "Static analysis" in README.md).
 lint: fmt vet analyze
 
 fmt:
@@ -26,7 +26,7 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# analyze runs all seven analyzers (determinism + lifetime/units) with the
+# analyze runs all eight analyzers (determinism + lifetime/units) with the
 # committed baseline: grandfathered findings are report-only, anything new
 # fails, and //lint:allow directives that justify nothing or suppress
 # nothing fail too.
@@ -105,4 +105,12 @@ smoke-simd:
 smoke-shard:
 	sh scripts/shard_smoke.sh
 
-ci: build test race lint alloc-gate fuzz check smoke-simd smoke-shard
+# smoke-chaos drives the whole degradation ladder over real binaries:
+# a coordinator and workers with transport/cache faults armed, a cache
+# entry corrupted on disk behind the store's back, one worker SIGKILLed,
+# and a daemon SIGTERMed with a job in flight then restarted — every
+# output byte-compared against the clean run.
+smoke-chaos:
+	sh scripts/chaos_smoke.sh
+
+ci: build test race lint alloc-gate fuzz check smoke-simd smoke-shard smoke-chaos

@@ -17,6 +17,7 @@ func TestListSuite(t *testing.T) {
 	var buf bytes.Buffer
 	listSuite(&buf)
 	want := "detrand      forbid math/rand and time-seeded RNG construction outside internal/xrand\n" +
+		"faultsite    require every declared fault-injection site to be exercised by an in-package test\n" +
 		"maporder     flag map iteration in output-producing packages\n" +
 		"poolsafe     flag lifetime violations of pooled requests, arenas, and intrusive chains\n" +
 		"scanparity   require every dual-path hook to be exercised by an in-package test\n" +
@@ -26,8 +27,8 @@ func TestListSuite(t *testing.T) {
 	if got := buf.String(); got != want {
 		t.Errorf("listSuite output changed:\n got: %q\nwant: %q", got, want)
 	}
-	if len(lint.All()) != 7 {
-		t.Fatalf("suite has %d analyzers, want 7", len(lint.All()))
+	if len(lint.All()) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(lint.All()))
 	}
 }
 

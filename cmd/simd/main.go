@@ -29,8 +29,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/cliobs"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/simd"
@@ -48,10 +50,16 @@ func run() int {
 	worker := flag.Bool("worker", false, "serve the shard worker unit API on -addr instead of the job API")
 	shardURLs := flag.String("shard", "", "comma-separated shard worker base URLs to fan jobs out to")
 	shardSpawn := flag.Int("shard-workers", 0, "spawn this many local shard worker subprocesses")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "soft cap on run-cache bytes; oldest-read entries are evicted past it (0 = unbounded)")
+	faults := flag.String("faults", "", "deterministic fault-injection spec (default "+faultinject.EnvVar+" env; output stays byte-identical)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace window for in-flight connections and jobs")
 	ob := cliobs.Register()
 	flag.Parse()
 
-	sh := &shard.CLI{Worker: *worker, WorkerAddr: *addr, Workers: *shardURLs, Spawn: *shardSpawn, CacheDir: *cacheDir}
+	sh := &shard.CLI{
+		Worker: *worker, WorkerAddr: *addr, Workers: *shardURLs, Spawn: *shardSpawn,
+		CacheDir: *cacheDir, CacheMaxBytes: *cacheMax, Faults: *faults,
+	}
 
 	if *workers < 0 || *maxClientJobs < 1 {
 		fmt.Fprintln(os.Stderr, "simd: -workers must be >= 0 and -max-client-jobs >= 1")
@@ -76,6 +84,7 @@ func run() int {
 		return 1
 	}
 	defer cleanup()
+	plan, _ := sh.FaultPlan(reg) // memoized: same plan Pool resolved
 
 	srv := simd.New(simd.Config{
 		Workers:          *workers,
@@ -84,6 +93,7 @@ func run() int {
 		CacheVersion:     "", // default: runcache.CodeVersion()
 		Reg:              reg,
 		Shard:            pool,
+		Faults:           plan,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -91,7 +101,17 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Reads are tight (a spec is one small JSON object), but writes
+		// must cover /v1/jobs?wait=1 and /stream, which legitimately stay
+		// open for a full suite run — hence the wide write timeout: it is
+		// a backstop against wedged connections, not a pace-setter.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      30 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	// The listening line goes to stdout so scripts can scrape the bound
 	// address (important with -addr :0).
@@ -106,10 +126,19 @@ func run() int {
 	select {
 	case sig := <-stop:
 		fmt.Fprintf(os.Stderr, "simd: %v, shutting down\n", sig)
-		if err := hs.Shutdown(context.Background()); err != nil {
+		// Stop accepting, then drain: in-flight jobs finish (persisting
+		// their cells) inside the grace window, so whatever the window
+		// cuts short is replayed or recomputed byte-identically by the
+		// next daemon.
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := hs.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "simd: shutdown: %v\n", err)
 			code = 1
 		}
+		if !srv.Drain(ctx) {
+			fmt.Fprintln(os.Stderr, "simd: drain window expired with jobs still running")
+		}
+		cancel()
 	case err := <-errc:
 		if err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "simd: %v\n", err)

@@ -1,0 +1,79 @@
+// Package backoff is the unified retry policy for the distributed
+// substrate: exponential growth with deterministic jitter and a bounded
+// attempt budget. It replaces ad-hoc per-call retry loops so every layer
+// degrades the same way — and so a retry schedule is reproducible: the
+// delay before attempt a of work item w is a pure function of (seed, w,
+// a), jittered through xrand positional streams rather than the global
+// time-seeded randomness the determinism lint forbids.
+package backoff
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Policy describes one retry ladder.
+type Policy struct {
+	// Base is the pre-jitter delay before the first retry (default
+	// 25ms). Attempt a waits Base<<a, capped at Max.
+	Base time.Duration
+	// Max caps the pre-jitter delay (default 2s).
+	Max time.Duration
+	// Budget is the total number of attempts allowed, the first one
+	// included (default 3). Exhausted reports when a work item has spent
+	// it.
+	Budget int
+}
+
+// Default fills unset fields and returns the completed policy.
+func (p Policy) Default() Policy {
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 3
+	}
+	return p
+}
+
+// Exhausted reports whether attempts (the number already made) has spent
+// the budget.
+func (p Policy) Exhausted(attempts int) bool { return attempts >= p.Budget }
+
+// Delay returns the wait before retry attempt a (1-based: a=1 follows
+// the first failure) of the work item identified by seed: Base<<(a-1)
+// capped at Max, scaled by a deterministic jitter factor in [0.5, 1.5)
+// drawn from the positional stream (seed, a). Identical (seed, attempt)
+// pairs wait identically on every machine.
+func (p Policy) Delay(seed uint64, a int) time.Duration {
+	if a < 1 {
+		a = 1
+	}
+	d := p.Base
+	for i := 1; i < a && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	jitter := 0.5 + xrand.NewAt(seed, uint64(a)).Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Wait sleeps Delay(seed, a), returning early (false) when ctx is
+// cancelled — a shutting-down caller must not sit out a backoff window.
+func (p Policy) Wait(ctx context.Context, seed uint64, a int) bool {
+	t := time.NewTimer(p.Delay(seed, a))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

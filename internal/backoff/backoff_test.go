@@ -1,0 +1,75 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDefault(t *testing.T) {
+	p := Policy{}.Default()
+	if p.Base != 25*time.Millisecond || p.Max != 2*time.Second || p.Budget != 3 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	custom := Policy{Base: time.Second, Max: time.Minute, Budget: 9}.Default()
+	if custom.Base != time.Second || custom.Max != time.Minute || custom.Budget != 9 {
+		t.Fatalf("custom clobbered: %+v", custom)
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	p := Policy{Budget: 3}
+	if p.Exhausted(0) || p.Exhausted(2) {
+		t.Fatal("budget spent early")
+	}
+	if !p.Exhausted(3) || !p.Exhausted(4) {
+		t.Fatal("budget never spends")
+	}
+}
+
+// TestDelayDeterministicAndBounded: delays replay exactly for a (seed,
+// attempt) pair, grow with the attempt index, stay within the jittered
+// envelope, and cap at Max.
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Budget: 10}
+	for a := 1; a <= 8; a++ {
+		d1, d2 := p.Delay(42, a), p.Delay(42, a)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: %v != %v", a, d1, d2)
+		}
+		base := p.Base << (a - 1)
+		if base > p.Max {
+			base = p.Max
+		}
+		lo, hi := base/2, base+base/2
+		if d1 < lo || d1 >= hi {
+			t.Errorf("attempt %d: delay %v outside [%v, %v)", a, d1, lo, hi)
+		}
+	}
+	if p.Delay(42, 1) == p.Delay(43, 1) && p.Delay(42, 2) == p.Delay(43, 2) {
+		t.Error("two seeds produced identical jitter on both attempts")
+	}
+	if d := p.Delay(7, 0); d < p.Base/2 || d >= p.Base+p.Base/2 {
+		t.Errorf("attempt 0 clamps to 1, got %v", d)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	p := Policy{Base: time.Minute, Max: time.Minute, Budget: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if p.Wait(ctx, 1, 1) {
+		t.Fatal("cancelled wait reported success")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("wait ignored cancellation")
+	}
+	p = Policy{Base: time.Millisecond, Max: time.Millisecond}
+	if !p.Wait(context.Background(), 1, 1) {
+		t.Fatal("uncancelled wait reported failure")
+	}
+}

@@ -1,4 +1,4 @@
-// Package lint is the static-analysis suite: seven analyzers that
+// Package lint is the static-analysis suite: eight analyzers that
 // mechanically enforce the repository's byte-identical-output contract
 // and the lifetime/unit rules of its manually managed hot path (DESIGN.md
 // "Determinism contract" and "Lifetime & units analysis").
@@ -29,6 +29,9 @@
 //   - scanparity: every dual-path hook (ScanScheduler, noPool) must be
 //     referenced from an in-package test, or the legacy path it selects
 //     has no live differential oracle.
+//   - faultsite: every declared fault-injection site (faultinject.Site
+//     constant) must be referenced from an in-package test, or the
+//     recovery path behind it is unverified.
 //
 // All analyzers skip _test.go files (scanparity reads them as evidence):
 // test code runs sequentially under `go test` (and the race detector
@@ -50,7 +53,7 @@ import (
 // All returns the full suite in stable (alphabetical) order; cmd/analyze
 // -list and the CI multichecker both rely on this ordering.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{DetRand, MapOrder, PoolSafe, ScanParity, SeedFlow, SharedWrite, UnitFlow}
+	return []*analysis.Analyzer{DetRand, FaultSite, MapOrder, PoolSafe, ScanParity, SeedFlow, SharedWrite, UnitFlow}
 }
 
 // ByName returns the analyzer with the given name, or nil.

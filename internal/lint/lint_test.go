@@ -69,9 +69,16 @@ func TestSeedFlow(t *testing.T) {
 	}
 }
 
+func TestFaultSite(t *testing.T) {
+	findings := analysistest.Run(t, analysistest.TestData(), lint.FaultSite, "faultsite")
+	if len(findings) == 0 {
+		t.Fatal("faultsite fixture produced no findings")
+	}
+}
+
 // TestSuiteComplete pins the suite composition the docs and CI reference.
 func TestSuiteComplete(t *testing.T) {
-	want := []string{"detrand", "maporder", "poolsafe", "scanparity", "seedflow", "sharedwrite", "unitflow"}
+	want := []string{"detrand", "faultsite", "maporder", "poolsafe", "scanparity", "seedflow", "sharedwrite", "unitflow"}
 	all := lint.All()
 	if len(all) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(all), len(want))

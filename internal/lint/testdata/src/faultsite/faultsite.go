@@ -1,0 +1,31 @@
+// Fixture for the faultsite analyzer: every package-level
+// faultinject.Site declaration must be referenced from an in-package
+// test, or the injection point's recovery path is unverified.
+package faultsite
+
+import "repro/internal/faultinject"
+
+// FaultReadTorn is exercised by the recovery test in faultsite_test.go;
+// FaultWriteLost is a site nobody tests.
+const (
+	FaultReadTorn  faultinject.Site = "fixture/read/torn"
+	FaultWriteLost faultinject.Site = "fixture/write/lost" // want `fault site FaultWriteLost has no in-package test reference`
+)
+
+// read consults the plan at its site before touching data.
+func read(plan *faultinject.Plan, data []byte) ([]byte, bool) {
+	if plan.Should(FaultReadTorn) {
+		plan.Recovered(FaultReadTorn)
+		return nil, false
+	}
+	return data, true
+}
+
+// write drops the data when its (untested) site fires.
+func write(plan *faultinject.Plan, data []byte) bool {
+	if plan.Should(FaultWriteLost) {
+		plan.Recovered(FaultWriteLost)
+		return false
+	}
+	return len(data) >= 0
+}

@@ -1,0 +1,19 @@
+package faultsite
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestReadTornRecovers is the in-package reference that proves the
+// FaultReadTorn injection point has a tested recovery path.
+func TestReadTornRecovers(t *testing.T) {
+	plan := faultinject.New(1).Arm(FaultReadTorn, faultinject.Rule{P: 1, Count: 1})
+	if _, ok := read(plan, []byte("x")); ok {
+		t.Fatal("torn read served data")
+	}
+	if _, ok := read(plan, []byte("x")); !ok {
+		t.Fatal("recovered read still failing")
+	}
+}

@@ -15,15 +15,24 @@
 // Integrity: a cache file embeds its key and a SHA-256 digest of its
 // payload. Get re-verifies both on every read; a truncated, corrupted,
 // or mis-keyed file is treated as a miss (and counted), never served.
-// Puts write a temporary file and rename it into place, so readers never
-// observe a partially written entry and concurrent writers of the same
-// key converge on identical bytes.
+// Puts write a PID-tagged temporary file and rename it into place, so
+// readers never observe a partially written entry and concurrent writers
+// of the same key converge on identical bytes.
+//
+// Degradation: every disk failure maps to a cache miss, never a run
+// failure. A full disk (ENOSPC) is absorbed as "the run stays uncached"
+// and triggers an LRU sweep; when Options.MaxBytes is set the cache
+// additionally self-bounds by evicting oldest-read entries. The optional
+// faultinject.Plan drives the chaos suite's injected torn writes, bit
+// corruption, ENOSPC, rename failures, and slow reads through the same
+// recovery paths real faults take.
 package runcache
 
 import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -32,8 +41,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -41,6 +54,28 @@ import (
 // encoding. Bump it whenever either changes incompatibly: the version is
 // mixed into every key, so old entries simply stop matching.
 const SchemaVersion = "rc1"
+
+// Fault sites injected by this package (armed through Options.Faults;
+// see internal/faultinject). Each maps onto the recovery path a real
+// fault of that shape would take.
+const (
+	// FaultGetSlow stalls a read by the rule's delay (slow disk).
+	FaultGetSlow faultinject.Site = "runcache/get/slow"
+	// FaultGetRead fails a read outright (I/O error → miss).
+	FaultGetRead faultinject.Site = "runcache/get/read"
+	// FaultGetCorrupt flips a payload bit after the read, so the real
+	// digest verification rejects the entry (bit rot → corrupt miss).
+	FaultGetCorrupt faultinject.Site = "runcache/get/corrupt"
+	// FaultPutTorn renames a truncated entry into place and reports
+	// success — the torn write is only discovered by a later Get.
+	FaultPutTorn faultinject.Site = "runcache/put/torn"
+	// FaultPutRename fails the final rename (crossed filesystems,
+	// permission loss → put error, run stays uncached).
+	FaultPutRename faultinject.Site = "runcache/put/rename"
+	// FaultPutENOSPC fails the temp write with ENOSPC (full disk →
+	// graceful miss plus sweep).
+	FaultPutENOSPC faultinject.Site = "runcache/put/enospc"
+)
 
 // Key is the content address of one cache entry: a SHA-256 over the
 // canonical encoding of the entry's inputs and the code version.
@@ -207,6 +242,19 @@ type Stats struct {
 	Corrupt   uint64 // of Misses: a file existed but failed verification
 	Puts      uint64 // entries written
 	PutErrors uint64 // writes that failed (the run continues uncached)
+	ENOSPC    uint64 // of PutErrors absorbed: full disk, run stays uncached
+	Evictions uint64 // entries removed by the LRU size sweep
+}
+
+// Options configures a cache beyond its directory.
+type Options struct {
+	// MaxBytes soft-caps the total entry bytes on disk. When a put pushes
+	// the cache past it, the oldest-read entries are swept until usage
+	// drops to sweepTarget of the cap. 0 means unbounded.
+	MaxBytes int64
+	// Faults arms this cache's fault-injection sites; nil (production)
+	// injects nothing.
+	Faults *faultinject.Plan
 }
 
 // Cache is a directory of content-addressed entries. It is safe for
@@ -214,21 +262,32 @@ type Stats struct {
 // and read-time verification, by multiple processes sharing the
 // directory.
 type Cache struct {
-	dir string
+	dir    string
+	opts   Options
+	faults *faultinject.Plan
 
-	hits, misses, corrupt, puts, putErrors obs.Counter
+	size    atomic.Int64 // bytes in .rc entries (tracked when MaxBytes > 0)
+	sweepMu sync.Mutex   // one LRU sweep at a time
+
+	hits, misses, corrupt, puts, putErrors, enospc, evictions obs.Counter
 
 	// Optional obs mirrors (nil-safe handles): wired by Observe so the
 	// daemon's exported metrics show cache traffic live.
-	obsHits, obsMisses, obsCorrupt, obsPuts, obsPutErrors *obs.Counter
+	obsHits, obsMisses, obsCorrupt, obsPuts, obsPutErrors, obsENOSPC, obsEvictions *obs.Counter
 }
 
-// Open creates (if needed) and returns the cache rooted at dir. Orphaned
-// temporary files — left behind by a writer killed between CreateTemp
-// and the atomic rename — are swept on open; only temps older than
-// staleTempAge are removed, so in-flight Puts by live processes sharing
-// the directory are never disturbed.
-func Open(dir string) (*Cache, error) {
+// Open creates (if needed) and returns the cache rooted at dir with
+// default options (unbounded, no fault injection).
+func Open(dir string) (*Cache, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions creates (if needed) and returns the cache rooted at dir.
+// Orphaned temporary files — left behind by a writer killed between
+// CreateTemp and the atomic rename — are swept on open: temps whose name
+// carries the PID of a dead process are removed immediately, temps owned
+// by a live process are never disturbed, and unparseable temp names fall
+// back to an age check. When opts.MaxBytes is set the current entry
+// bytes are tallied so the size bound applies from the first put.
+func OpenOptions(dir string, opts Options) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("runcache: empty cache directory")
 	}
@@ -236,17 +295,66 @@ func Open(dir string) (*Cache, error) {
 		return nil, fmt.Errorf("runcache: %w", err)
 	}
 	sweepStaleTemps(dir)
-	return &Cache{dir: dir}, nil
+	c := &Cache{dir: dir, opts: opts, faults: opts.Faults}
+	if opts.MaxBytes > 0 {
+		c.size.Store(diskUsage(dir))
+	}
+	return c, nil
 }
 
-// staleTempAge is how old an orphaned temp file must be before Open
-// removes it. A live Put holds its temp for well under a second; an hour
-// leaves orders of magnitude of slack even for heavily stalled writers.
+// staleTempAge is how old an orphaned temp file must be before the open
+// sweep removes it when its owner cannot be identified from the name.
+// PID-tagged temps (everything this package writes) don't need the
+// slack: liveness is checked directly.
 const staleTempAge = time.Hour
 
-// sweepStaleTemps removes old ".<key>.tmp*" droppings. Best-effort: a
-// sweep failure never blocks opening the cache, and a concurrently
-// renamed or re-swept file is simply gone by the time Remove runs.
+// tempPattern returns the CreateTemp pattern for an entry's temp file:
+// ".<key>.tmp.<pid>-*". Embedding the writer's PID lets the open sweep
+// distinguish a temp owned by a live writer (skip, however old) from the
+// dropping of a dead one (remove, however fresh).
+func tempPattern(k Key) string {
+	return "." + k.String() + ".tmp." + strconv.Itoa(os.Getpid()) + "-*"
+}
+
+// tempOwner extracts the writer PID from a temp file name, or 0 when the
+// name predates PID tagging (or isn't ours).
+func tempOwner(base string) int {
+	_, rest, ok := strings.Cut(base, ".tmp.")
+	if !ok {
+		return 0
+	}
+	pidStr, _, ok := strings.Cut(rest, "-")
+	if !ok {
+		return 0
+	}
+	pid, err := strconv.Atoi(pidStr)
+	if err != nil || pid <= 0 {
+		return 0
+	}
+	return pid
+}
+
+// pidAlive reports whether a process with the given PID exists (signal
+// 0 probe; EPERM still means "exists").
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// sweepStaleTemps removes orphaned ".<key>.tmp*" droppings. A temp whose
+// name names a dead PID is removed immediately; a live PID's temp is
+// skipped no matter how old (a stalled writer's in-flight put must not
+// be torn out from under it); a name without a parseable PID falls back
+// to the mtime age check. Best-effort: a sweep failure never blocks
+// opening the cache, and a concurrently renamed or re-swept file is
+// simply gone by the time Remove runs.
 func sweepStaleTemps(dir string) {
 	cutoff := time.Now().Add(-staleTempAge)
 	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
@@ -257,6 +365,12 @@ func sweepStaleTemps(dir string) {
 		if !strings.HasPrefix(base, ".") || !strings.Contains(base, ".tmp") {
 			return nil
 		}
+		if pid := tempOwner(base); pid != 0 {
+			if !pidAlive(pid) {
+				os.Remove(path)
+			}
+			return nil
+		}
 		if info, err := d.Info(); err == nil && info.ModTime().Before(cutoff) {
 			os.Remove(path)
 		}
@@ -264,18 +378,35 @@ func sweepStaleTemps(dir string) {
 	})
 }
 
+// diskUsage sums the sizes of the cache's entry files.
+func diskUsage(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".rc") {
+			if info, err := d.Info(); err == nil {
+				total += info.Size()
+			}
+		}
+		return nil
+	})
+	return total
+}
+
 // Dir returns the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
 // Observe mirrors the cache's counters into a registry under
-// scope+"/hits", "/misses", "/corrupt", "/puts", "/put_errors", so cache
-// traffic appears in exported metrics as it happens.
+// scope+"/hits", "/misses", "/corrupt", "/puts", "/put_errors",
+// "/enospc", and "/evictions", so cache traffic appears in exported
+// metrics as it happens.
 func (c *Cache) Observe(reg *obs.Registry, scope string) {
 	c.obsHits = reg.Counter(scope + "/hits")
 	c.obsMisses = reg.Counter(scope + "/misses")
 	c.obsCorrupt = reg.Counter(scope + "/corrupt")
 	c.obsPuts = reg.Counter(scope + "/puts")
 	c.obsPutErrors = reg.Counter(scope + "/put_errors")
+	c.obsENOSPC = reg.Counter(scope + "/enospc")
+	c.obsEvictions = reg.Counter(scope + "/evictions")
 }
 
 // Stats returns a snapshot of the cache's counters.
@@ -286,6 +417,8 @@ func (c *Cache) Stats() Stats {
 		Corrupt:   c.corrupt.Value(),
 		Puts:      c.puts.Value(),
 		PutErrors: c.putErrors.Value(),
+		ENOSPC:    c.enospc.Value(),
+		Evictions: c.evictions.Value(),
 	}
 }
 
@@ -307,19 +440,36 @@ func (c *Cache) path(k Key) string {
 // Get returns the verified payload for k, or ok=false on any miss —
 // including a present-but-corrupt file, which is never served.
 func (c *Cache) Get(k Key) (payload []byte, ok bool) {
+	c.faults.Sleep(FaultGetSlow)
 	data, err := os.ReadFile(c.path(k))
+	if err == nil && c.faults.Should(FaultGetRead) {
+		err = errors.New("injected read failure")
+	}
 	if err != nil {
+		c.faults.Recovered(FaultGetRead)
 		c.misses.Add(1)
 		c.obsMisses.Add(1)
 		return nil, false
 	}
+	if c.faults.Should(FaultGetCorrupt) && len(data) > 0 {
+		// Flip one payload bit and let the real digest check catch it —
+		// the injection exercises verification, not a shortcut around it.
+		data[len(data)-1] ^= 1
+	}
 	payload, err = decodeEntry(k, data)
 	if err != nil {
+		c.faults.Recovered(FaultGetCorrupt)
 		c.misses.Add(1)
 		c.corrupt.Add(1)
 		c.obsMisses.Add(1)
 		c.obsCorrupt.Add(1)
 		return nil, false
+	}
+	if c.opts.MaxBytes > 0 {
+		// Refresh the entry's read time so the LRU sweep sees hot
+		// entries as young. Best-effort.
+		now := time.Now()
+		os.Chtimes(c.path(k), now, now)
 	}
 	c.hits.Add(1)
 	c.obsHits.Add(1)
@@ -357,16 +507,30 @@ func decodeEntry(k Key, data []byte) ([]byte, error) {
 }
 
 // Put stores payload under k. Errors are counted and returned; callers
-// treat a failed put as "run stays uncached", never as a run failure.
+// treat a failed put as "run stays uncached", never as a run failure. A
+// full disk (ENOSPC) is absorbed entirely — counted, sweep triggered,
+// nil returned — because it is an expected operating condition, not an
+// anomaly worth surfacing per put.
 func (c *Cache) Put(k Key, payload []byte) error {
 	err := c.put(k, payload)
 	if err != nil {
+		if errors.Is(err, syscall.ENOSPC) {
+			c.faults.Recovered(FaultPutENOSPC)
+			c.enospc.Add(1)
+			c.obsENOSPC.Add(1)
+			c.sweepLRU()
+			return nil
+		}
+		c.faults.Recovered(FaultPutRename)
 		c.putErrors.Add(1)
 		c.obsPutErrors.Add(1)
 		return err
 	}
 	c.puts.Add(1)
 	c.obsPuts.Add(1)
+	if c.opts.MaxBytes > 0 && c.size.Load() > c.opts.MaxBytes {
+		c.sweepLRU()
+	}
 	return nil
 }
 
@@ -382,11 +546,21 @@ func (c *Cache) put(k Key, payload []byte) error {
 	fmt.Fprintf(&buf, "key %s\n", k)
 	fmt.Fprintf(&buf, "sha256 %s len %d\n", hex.EncodeToString(sum[:]), len(payload))
 	buf.Write(payload)
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+k.String()+".tmp*")
+	entry := buf.Bytes()
+	if c.faults.Should(FaultPutTorn) {
+		// A torn write: half the entry lands and the writer believes the
+		// put succeeded. The next Get finds the truncation, counts a
+		// corrupt miss, and recomputes.
+		entry = entry[:len(entry)/2]
+	}
+	if c.faults.Should(FaultPutENOSPC) {
+		return fmt.Errorf("runcache: %w", syscall.ENOSPC)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), tempPattern(k))
 	if err != nil {
 		return fmt.Errorf("runcache: %w", err)
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(entry); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("runcache: %w", err)
@@ -395,11 +569,76 @@ func (c *Cache) put(k Key, payload []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("runcache: %w", err)
 	}
+	if c.faults.Should(FaultPutRename) {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runcache: injected rename failure")
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("runcache: %w", err)
 	}
+	if c.opts.MaxBytes > 0 {
+		c.size.Add(int64(len(entry)))
+	}
 	return nil
+}
+
+// sweepTarget is the fraction of MaxBytes the LRU sweep drains to, so
+// one sweep buys headroom instead of evicting a single entry per put.
+const sweepTarget = 0.9
+
+// sweepLRU removes entries in oldest-read order (mtime, refreshed on
+// hit) until usage drops under sweepTarget of MaxBytes. With no
+// MaxBytes configured (ENOSPC on an unbounded cache) it evicts down to
+// sweepTarget of current usage to free some space. One sweep runs at a
+// time; concurrent triggers return immediately.
+func (c *Cache) sweepLRU() {
+	if !c.sweepMu.TryLock() {
+		return
+	}
+	defer c.sweepMu.Unlock()
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".rc") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			entries = append(entries, entry{path, info.Size(), info.ModTime()})
+			total += info.Size()
+		}
+		return nil
+	})
+	budget := c.opts.MaxBytes
+	if budget <= 0 {
+		budget = total
+	}
+	target := int64(float64(budget) * sweepTarget)
+	if total <= target {
+		if c.opts.MaxBytes > 0 {
+			c.size.Store(total)
+		}
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		if total <= target {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			c.evictions.Add(1)
+			c.obsEvictions.Add(1)
+		}
+	}
+	if c.opts.MaxBytes > 0 {
+		c.size.Store(total)
+	}
 }
 
 // Len walks the cache directory and returns the number of entry files
@@ -413,4 +652,30 @@ func (c *Cache) Len() int {
 		return nil
 	})
 	return n
+}
+
+// WriteFileAtomic writes data to path via a PID-tagged temp file in the
+// same directory and an atomic rename, so readers never observe a
+// partial file and crash droppings are attributable to their writer.
+// Shared with the simd daemon's job-spec persistence.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp."+strconv.Itoa(os.Getpid())+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

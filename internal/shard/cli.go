@@ -12,23 +12,31 @@ import (
 	"os/exec"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/runcache"
 )
 
 // CLI is the flag surface the experiment CLIs share for coordinator and
 // worker modes. Registering it adds -worker/-worker-addr (worker mode),
-// -shard/-shard-workers (coordinator mode), and -cache-dir (the store
-// both sides share).
+// -shard/-shard-workers (coordinator mode), -cache-dir/-cache-max-bytes
+// (the store both sides share), and -faults (the chaos harness).
 type CLI struct {
-	Worker     bool
-	WorkerAddr string
-	Workers    string
-	Spawn      int
-	CacheDir   string
+	Worker        bool
+	WorkerAddr    string
+	Workers       string
+	Spawn         int
+	CacheDir      string
+	CacheMaxBytes int64
+	Faults        string
+
+	planOnce sync.Once
+	plan     *faultinject.Plan
+	planErr  error
 }
 
 // Register installs the shard flags on fs.
@@ -38,19 +46,57 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Workers, "shard", "", "comma-separated shard worker base URLs (e.g. http://127.0.0.1:8481,http://10.0.0.2:8481)")
 	fs.IntVar(&c.Spawn, "shard-workers", 0, "spawn this many local shard worker subprocesses for this run")
 	fs.StringVar(&c.CacheDir, "cache-dir", "", "content-addressed run cache directory (shared with workers)")
+	fs.Int64Var(&c.CacheMaxBytes, "cache-max-bytes", 0, "soft cap on run-cache bytes; oldest-read entries are evicted past it (0 = unbounded)")
+	fs.StringVar(&c.Faults, "faults", "", "deterministic fault-injection spec, e.g. 'seed=7;runcache/put/torn=0.2' (default "+faultinject.EnvVar+" env; output stays byte-identical)")
 }
 
 // Sharding reports whether any coordinator-side fan-out was requested.
 func (c *CLI) Sharding() bool { return c.Workers != "" || c.Spawn > 0 }
 
+// FaultPlan resolves the fault-injection plan for this process: the
+// -faults flag when set, otherwise the REPRO_FAULTS environment variable
+// (which spawned workers inherit, so one setting arms a whole local
+// fleet). Nil — inject nothing — is the production result. Resolved
+// once: the cache, the pool, and the daemon all share one schedule.
+func (c *CLI) FaultPlan(reg *obs.Registry) (*faultinject.Plan, error) {
+	c.planOnce.Do(func() {
+		plan, err := faultinject.Parse(c.Faults)
+		if err != nil {
+			c.planErr = err
+			return
+		}
+		if plan == nil {
+			if plan, err = faultinject.FromEnv(); err != nil {
+				c.planErr = err
+				return
+			}
+		}
+		c.plan = plan.Observe(reg)
+	})
+	return c.plan, c.planErr
+}
+
+// openCache opens the run cache configured by the flags with the given
+// fault plan attached.
+func (c *CLI) openCache(faults *faultinject.Plan) (*runcache.Cache, error) {
+	return runcache.OpenOptions(c.CacheDir, runcache.Options{
+		MaxBytes: c.CacheMaxBytes,
+		Faults:   faults,
+	})
+}
+
 // ServeWorker runs the worker main loop for the flags: open the cache,
 // listen on WorkerAddr, announce the URL on stdout, serve until
 // SIGINT/SIGTERM. Returns a process exit code.
 func (c *CLI) ServeWorker(name string, reg *obs.Registry) int {
+	faults, err := c.FaultPlan(reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: faults: %v\n", name, err)
+		return 1
+	}
 	var cache *runcache.Cache
 	if c.CacheDir != "" {
-		var err error
-		cache, err = runcache.Open(c.CacheDir)
+		cache, err = c.openCache(faults)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: open cache: %v\n", name, err)
 			return 1
@@ -71,7 +117,17 @@ func ServeWorkerOn(name, addr, version string, cache *runcache.Cache, reg *obs.R
 		return 1
 	}
 	fmt.Printf("%s worker listening on http://%s\n", name, ln.Addr())
-	hs := &http.Server{Handler: w.Handler()}
+	hs := &http.Server{
+		Handler: w.Handler(),
+		// A unit request is one small JSON body, so reads are tight; the
+		// write timeout must cover the unit's compute time (the handler
+		// executes synchronously), so it sits well above the
+		// coordinator's 2m dispatch timeout.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	idle := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -93,12 +149,18 @@ func ServeWorkerOn(name, addr, version string, cache *runcache.Cache, reg *obs.R
 // Pool builds the coordinator side from the flags: parse -shard URLs,
 // spawn -shard-workers local subprocesses sharing -cache-dir, open the
 // cache. pool is nil when no sharding was requested (the cache may still
-// be non-nil: -cache-dir alone enables the persistent layer). cleanup
+// be non-nil: -cache-dir alone enables the persistent layer). The pool's
+// dispatches run under a SIGINT/SIGTERM-bound context, so shutdown
+// cancels in-flight HTTP calls and drains the rest locally. cleanup
 // stops any spawned workers and must be called even on error-free runs.
 func (c *CLI) Pool(reg *obs.Registry) (pool *Pool, cache *runcache.Cache, cleanup func(), err error) {
 	cleanup = func() {}
+	faults, err := c.FaultPlan(reg)
+	if err != nil {
+		return nil, nil, cleanup, err
+	}
 	if c.CacheDir != "" {
-		cache, err = runcache.Open(c.CacheDir)
+		cache, err = c.openCache(faults)
 		if err != nil {
 			return nil, nil, cleanup, fmt.Errorf("open cache: %w", err)
 		}
@@ -122,14 +184,28 @@ func (c *CLI) Pool(reg *obs.Registry) (pool *Pool, cache *runcache.Cache, cleanu
 	if len(urls) == 0 {
 		return nil, cache, cleanup, nil
 	}
-	return NewPool(PoolOptions{Workers: urls, Cache: cache, Reg: reg}), cache, cleanup, nil
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	stopSpawned := cleanup
+	cleanup = func() {
+		stopSignals()
+		stopSpawned()
+	}
+	pool = NewPool(PoolOptions{
+		Workers:     urls,
+		Cache:       cache,
+		BaseContext: ctx,
+		Faults:      faults,
+		Reg:         reg,
+	})
+	return pool, cache, cleanup, nil
 }
 
 // SpawnLocal starts n copies of the current executable in -worker mode
 // on ephemeral ports, sharing cacheDir when non-empty, and returns their
 // base URLs plus a stop function (SIGTERM, then kill after a grace
 // period). The worker address is scraped from each child's announced
-// "listening on http://..." stdout line.
+// "listening on http://..." stdout line. Children inherit the
+// environment, REPRO_FAULTS included.
 func SpawnLocal(n int, cacheDir string) (urls []string, stop func(), err error) {
 	exe, err := os.Executable()
 	if err != nil {

@@ -12,8 +12,33 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/runcache"
+)
+
+// Fault sites injected into the dispatch transport (armed through
+// PoolOptions.Faults; see internal/faultinject). Each models a network
+// failure shape and exercises the recovery path a real one would take.
+const (
+	// FaultPostRefuse fails a dispatch before it leaves (connection
+	// refused → retry, breaker pressure).
+	FaultPostRefuse faultinject.Site = "shard/post/refuse"
+	// FaultPostLatency stalls a dispatch by the rule's delay (congested
+	// link; long enough delays trip the pool timeout).
+	FaultPostLatency faultinject.Site = "shard/post/latency"
+	// FaultPostDrop cuts the connection after the response status, before
+	// the body (mid-body drop → retry).
+	FaultPostDrop faultinject.Site = "shard/post/drop"
+	// FaultPostDup re-delivers the identical request after a success and
+	// discards the reply (duplicate delivery; harmless because units are
+	// content-addressed and commits are positional and exactly-once).
+	FaultPostDup faultinject.Site = "shard/post/dup"
+	// FaultPostSkew dispatches the unit under a skewed code version, so
+	// the worker's real 409 version check rejects it (deploy skew →
+	// retry).
+	FaultPostSkew faultinject.Site = "shard/post/skew"
 )
 
 // PoolOptions configure a coordinator-side dispatch pool.
@@ -34,14 +59,33 @@ type PoolOptions struct {
 	// straggler eventually finishes is discarded by the client — only
 	// the positional commit of the retried dispatch lands.
 	Timeout time.Duration
-	// Retries is the number of remote attempts per unit before the
+	// Retries is the total remote-attempt budget per unit before the
 	// coordinator gives up on the fleet and computes it locally
-	// (default 3).
+	// (default 3). Shorthand for Backoff.Budget; ignored when that is
+	// set.
 	Retries int
-	// DeadAfter marks a worker dead after this many consecutive
-	// failures (default 3); its in-flight slots then execute units
-	// locally, so progress is guaranteed even with every worker down.
+	// Backoff is the retry ladder between a unit's remote attempts:
+	// exponential with deterministic jitter (seeded by the unit key), so
+	// a retry storm spreads out identically on every run. Zero fields
+	// take backoff defaults.
+	Backoff backoff.Policy
+	// DeadAfter opens a worker's circuit breaker after this many
+	// consecutive failures (default 3); its in-flight slots then execute
+	// units locally, so progress is guaranteed even with every worker
+	// down.
 	DeadAfter int
+	// ProbeAfter is how long an open breaker waits before admitting one
+	// probe dispatch (default 30s); a successful probe returns the
+	// worker to the fleet.
+	ProbeAfter time.Duration
+	// BaseContext, when non-nil, bounds every Run: its cancellation
+	// (SIGTERM) aborts in-flight HTTP dispatches and fast-paths the
+	// remaining units to local execution, so shutdown drains instead of
+	// abandoning work.
+	BaseContext context.Context
+	// Faults arms the dispatch-transport fault sites; nil (production)
+	// injects nothing.
+	Faults *faultinject.Plan
 	// Reg receives the shard/* dispatch counters (nil-safe).
 	Reg *obs.Registry
 }
@@ -50,13 +94,14 @@ type PoolOptions struct {
 // positional order. It is safe for concurrent use; each Run call is
 // independent.
 type Pool struct {
-	workers   []*remoteWorker
-	cache     *runcache.Cache
-	client    *http.Client
-	inFlight  int
-	timeout   time.Duration
-	retries   int
-	deadAfter int
+	workers  []*remoteWorker
+	cache    *runcache.Cache
+	client   *http.Client
+	inFlight int
+	timeout  time.Duration
+	retry    backoff.Policy
+	baseCtx  context.Context
+	faults   *faultinject.Plan
 
 	unitsC     *obs.Counter
 	dispatched *obs.Counter
@@ -64,16 +109,14 @@ type Pool struct {
 	retriesC   *obs.Counter
 	requeuedC  *obs.Counter
 	timeoutsC  *obs.Counter
-	deathsC    *obs.Counter
 	computedC  *obs.Counter
 	cacheHits  *obs.Counter
 	localC     *obs.Counter
 }
 
 type remoteWorker struct {
-	url   string
-	fails atomic.Int32
-	dead  atomic.Bool
+	url string
+	br  *breaker
 }
 
 // UnitResult is one merged slot: the cache-entry payload plus whether
@@ -91,19 +134,26 @@ func NewPool(o PoolOptions) *Pool {
 	if o.Timeout <= 0 {
 		o.Timeout = 2 * time.Minute
 	}
-	if o.Retries <= 0 {
-		o.Retries = 3
+	if o.Backoff.Budget <= 0 {
+		o.Backoff.Budget = o.Retries
 	}
 	if o.DeadAfter <= 0 {
 		o.DeadAfter = 3
 	}
+	if o.ProbeAfter <= 0 {
+		o.ProbeAfter = 30 * time.Second
+	}
+	if o.BaseContext == nil {
+		o.BaseContext = context.Background()
+	}
 	p := &Pool{
-		cache:     o.Cache,
-		client:    &http.Client{},
-		inFlight:  o.InFlight,
-		timeout:   o.Timeout,
-		retries:   o.Retries,
-		deadAfter: o.DeadAfter,
+		cache:    o.Cache,
+		client:   &http.Client{},
+		inFlight: o.InFlight,
+		timeout:  o.Timeout,
+		retry:    o.Backoff.Default(),
+		baseCtx:  o.BaseContext,
+		faults:   o.Faults,
 
 		unitsC:     o.Reg.Counter("shard/units"),
 		dispatched: o.Reg.Counter("shard/dispatched"),
@@ -111,13 +161,23 @@ func NewPool(o PoolOptions) *Pool {
 		retriesC:   o.Reg.Counter("shard/retries"),
 		requeuedC:  o.Reg.Counter("shard/requeued"),
 		timeoutsC:  o.Reg.Counter("shard/timeouts"),
-		deathsC:    o.Reg.Counter("shard/worker_deaths"),
 		computedC:  o.Reg.Counter("shard/computed"),
 		cacheHits:  o.Reg.Counter("shard/cache_hits"),
 		localC:     o.Reg.Counter("shard/local"),
 	}
+	opens := o.Reg.Counter("shard/breaker/open")
+	halfopens := o.Reg.Counter("shard/breaker/halfopen")
+	closes := o.Reg.Counter("shard/breaker/close")
+	deaths := o.Reg.Counter("shard/worker_deaths")
 	for _, u := range o.Workers {
-		p.workers = append(p.workers, &remoteWorker{url: u})
+		p.workers = append(p.workers, &remoteWorker{url: u, br: &breaker{
+			threshold:  o.DeadAfter,
+			probeAfter: o.ProbeAfter,
+			opens:      opens,
+			halfopens:  halfopens,
+			closes:     closes,
+			deaths:     deaths,
+		}})
 	}
 	return p
 }
@@ -149,12 +209,24 @@ func (st *runState) commit(i int, r UnitResult) {
 	}
 }
 
-// Run executes the units and returns their results in input order — the
-// ordered merge. Results are buffered into their positional slot as they
+// Run executes the units under the pool's base context and returns
+// their results in input order — the ordered merge. See RunContext.
+func (p *Pool) Run(units []Unit) []UnitResult {
+	return p.RunContext(p.baseCtx, units)
+}
+
+// RunContext executes the units and returns their results in input
+// order. Results are buffered into their positional slot as they
 // arrive; callers consume the returned slice sequentially, so downstream
 // rendering is byte-identical to a sequential run regardless of worker
-// count, arrival order, or mid-run worker failures.
-func (p *Pool) Run(units []Unit) []UnitResult {
+// count, arrival order, or mid-run worker failures. Cancelling ctx
+// aborts in-flight dispatches and completes the remaining units locally:
+// shutdown costs time, never output — the returned slice is always
+// complete and correct.
+func (p *Pool) RunContext(ctx context.Context, units []Unit) []UnitResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := len(units)
 	out := make([]UnitResult, n)
 	p.unitsC.Add(uint64(n))
@@ -206,7 +278,7 @@ func (p *Pool) Run(units []Unit) []UnitResult {
 					case <-st.done:
 						return
 					case i := <-st.tasks:
-						p.runOne(w, i, st)
+						p.runOne(ctx, w, i, st)
 					}
 				}
 			}(w)
@@ -217,41 +289,62 @@ func (p *Pool) Run(units []Unit) []UnitResult {
 }
 
 // runOne processes one claimed unit on one worker slot: dispatch, and on
-// failure either requeue (another worker will claim it) or — once the
-// retry budget is spent or the worker is dead — execute locally, so
-// every unit completes even if the whole fleet is gone.
-func (p *Pool) runOne(w *remoteWorker, i int, st *runState) {
+// failure either requeue after a backoff (another worker will claim it)
+// or — once the retry budget is spent, the context is cancelled, or the
+// worker's breaker is open — execute locally, so every unit completes
+// even if the whole fleet is gone.
+func (p *Pool) runOne(ctx context.Context, w *remoteWorker, i int, st *runState) {
 	u := st.units[i]
-	if w.dead.Load() {
+	if !w.br.allow() {
+		p.faults.Recovered("shard/recover/local")
 		st.commit(i, p.runLocal(u))
 		return
 	}
-	res, err := p.post(w, u)
+	res, err := p.post(ctx, w, u)
 	if err == nil {
-		w.fails.Store(0)
+		w.br.success()
 		p.completed.Add(1)
 		if res.Computed {
 			p.computedC.Add(1)
 		}
+		if st.attempts[i] > 0 {
+			p.faults.Recovered("shard/recover/retry")
+		}
 		st.commit(i, UnitResult{Payload: res.Payload, Computed: res.Computed})
 		return
 	}
+	w.br.failure()
 	p.retriesC.Add(1)
 	if errors.Is(err, context.DeadlineExceeded) {
 		p.timeoutsC.Add(1)
 	}
-	if w.fails.Add(1) == int32(p.deadAfter) {
-		if !w.dead.Swap(true) {
-			p.deathsC.Add(1)
-		}
-	}
 	st.attempts[i]++
-	if st.attempts[i] >= p.retries {
+	if ctx.Err() != nil || p.retry.Exhausted(st.attempts[i]) {
+		p.faults.Recovered("shard/recover/local")
+		st.commit(i, p.runLocal(u))
+		return
+	}
+	// Back off before the requeue — the delay is a deterministic function
+	// of (unit key, attempt), so a retry storm spreads identically on
+	// every run. A cancellation during the wait drains to local instead.
+	if !p.retry.Wait(ctx, unitSeed(u.Key), st.attempts[i]) {
+		p.faults.Recovered("shard/recover/local")
 		st.commit(i, p.runLocal(u))
 		return
 	}
 	p.requeuedC.Add(1)
 	st.tasks <- i
+}
+
+// unitSeed hashes a unit key into the backoff jitter seed space
+// (FNV-1a; stable across runs and machines).
+func unitSeed(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // runLocal is the coordinator-side fallback: execute the unit in
@@ -268,12 +361,23 @@ func (p *Pool) runLocal(u Unit) UnitResult {
 }
 
 // post round-trips one unit to one worker with the pool's timeout.
-func (p *Pool) post(w *remoteWorker, u Unit) (unitResponse, error) {
-	body, err := json.Marshal(u)
+func (p *Pool) post(ctx context.Context, w *remoteWorker, u Unit) (unitResponse, error) {
+	if p.faults.Should(FaultPostRefuse) {
+		p.dispatched.Add(1)
+		return unitResponse{}, fmt.Errorf("shard: worker %s: injected connection refusal", w.url)
+	}
+	p.faults.Sleep(FaultPostLatency)
+	wire := u
+	if p.faults.Should(FaultPostSkew) {
+		// The worker's own 409 check must reject the skewed version —
+		// the injection exercises the real guard, not a simulation of it.
+		wire.Version = u.Version + "+skew"
+	}
+	body, err := json.Marshal(wire)
 	if err != nil {
 		return unitResponse{}, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/shard/v1/unit", bytes.NewReader(body))
 	if err != nil {
@@ -286,6 +390,9 @@ func (p *Pool) post(w *remoteWorker, u Unit) (unitResponse, error) {
 		return unitResponse{}, err
 	}
 	defer resp.Body.Close()
+	if p.faults.Should(FaultPostDrop) {
+		return unitResponse{}, fmt.Errorf("shard: worker %s: injected mid-body drop", w.url)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		return unitResponse{}, fmt.Errorf("shard: worker %s: %s: %s", w.url, resp.Status, bytes.TrimSpace(msg))
@@ -296,6 +403,19 @@ func (p *Pool) post(w *remoteWorker, u Unit) (unitResponse, error) {
 	}
 	if out.Key != u.Key {
 		return unitResponse{}, fmt.Errorf("shard: worker %s answered key %s for unit %s", w.url, out.Key, u.Key)
+	}
+	if p.faults.Should(FaultPostDup) {
+		// Duplicate delivery: re-send the identical request and discard
+		// the reply. Harmless by design — units are content-addressed and
+		// each slot commits exactly once — and the injection proves it.
+		if req2, err2 := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/shard/v1/unit", bytes.NewReader(body)); err2 == nil {
+			req2.Header.Set("Content-Type", "application/json")
+			if resp2, err2 := p.client.Do(req2); err2 == nil {
+				io.Copy(io.Discard, io.LimitReader(resp2.Body, 1<<20))
+				resp2.Body.Close()
+			}
+		}
+		p.faults.Recovered(FaultPostDup)
 	}
 	return out, nil
 }

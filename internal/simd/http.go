@@ -175,6 +175,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		if st.State == StateDone || st.State == StateFailed {
 			return
 		}
+		if s.cfg.Faults.Should(FaultStreamDrop) {
+			// Injected client disconnect: cut the stream mid-feed. The
+			// job carries on; the result endpoint still serves the full
+			// bytes when the client comes back.
+			s.cfg.Faults.Recovered(FaultStreamDrop)
+			return
+		}
 		st = j.waitChange(st)
 	}
 }

@@ -1,0 +1,230 @@
+package simd
+
+import (
+	"bytes"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/runcache"
+)
+
+const restartSpec = `{"experiments":["fig14"],"quick":true,"seeds":1}`
+
+// coldRun executes restartSpec against a fresh daemon on dir and returns
+// the result bytes and job id.
+func coldRun(t *testing.T, dir string) ([]byte, string) {
+	t.Helper()
+	c, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := testServer(t, Config{Workers: 2, Cache: c})
+	st, code := postJob(t, ts, restartSpec, "?wait=1")
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("cold run: code=%d %+v", code, st)
+	}
+	payload, code := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("cold result status %d", code)
+	}
+	return payload, st.ID
+}
+
+// replayAfterRestart opens a brand-new daemon over dir — a restart — and
+// fetches the given job id, which the process has never seen. Returns
+// the body, HTTP status, and the job's terminal status.
+func replayAfterRestart(t *testing.T, dir, id string) ([]byte, int, Status) {
+	t.Helper()
+	c, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := testServer(t, Config{Workers: 2, Cache: c})
+	payload, code := get(t, ts.URL+"/v1/jobs/"+id+"/result?wait=1")
+	var st Status
+	if j, ok := s.Job(id); ok {
+		st = j.Wait()
+	}
+	return payload, code, st
+}
+
+// copyTree copies src into dst, preserving the directory layout.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// entryFiles returns the cache's .rc entry paths under dir, sorted.
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".rc") &&
+			!strings.Contains(path, string(filepath.Separator)+"jobs"+string(filepath.Separator)) {
+			out = append(out, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRestartAtEveryPersistencePoint simulates a daemon crash at each of
+// the three persistence points — spec written but no cells yet, a cell
+// entry half-written, and everything complete — by reconstructing the
+// corresponding on-disk state from a completed run. A restarted daemon
+// must replay the job id byte-identically in every case; partial state
+// costs recomputation, never wrong bytes.
+func TestRestartAtEveryPersistencePoint(t *testing.T) {
+	origin := t.TempDir()
+	want, id := coldRun(t, origin)
+	if len(entryFiles(t, origin)) == 0 {
+		t.Fatal("cold run persisted no cache entries")
+	}
+
+	t.Run("spec written, no cells", func(t *testing.T) {
+		// Crash immediately after the spec landed: only jobs/ survives.
+		dir := t.TempDir()
+		copyTree(t, filepath.Join(origin, "jobs"), filepath.Join(dir, "jobs"))
+		payload, code, st := replayAfterRestart(t, dir, id)
+		if code != http.StatusOK || st.State != StateDone {
+			t.Fatalf("replay: code=%d %+v", code, st)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatal("replay from bare spec diverged from the original bytes")
+		}
+		if st.ComputedRuns == 0 {
+			t.Error("nothing recomputed, but every cell was lost in the crash")
+		}
+	})
+
+	t.Run("entry half-written", func(t *testing.T) {
+		// Crash mid-write: one entry torn to half its bytes, plus an
+		// orphaned temp from the dead writer.
+		dir := t.TempDir()
+		copyTree(t, origin, dir)
+		entries := entryFiles(t, dir)
+		victim := entries[0]
+		data, err := os.ReadFile(victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(victim, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		orphan := filepath.Join(filepath.Dir(victim), ".dead.tmp.4194304-1")
+		if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		payload, code, st := replayAfterRestart(t, dir, id)
+		if code != http.StatusOK || st.State != StateDone {
+			t.Fatalf("replay: code=%d %+v", code, st)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatal("replay over a torn entry diverged from the original bytes")
+		}
+		if st.ComputedRuns == 0 {
+			t.Error("the torn cell was served instead of recomputed")
+		}
+		if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+			t.Error("dead writer's temp file survived the restart sweep")
+		}
+	})
+
+	t.Run("result complete", func(t *testing.T) {
+		// Clean shutdown: everything persisted; the replay is pure cache.
+		dir := t.TempDir()
+		copyTree(t, origin, dir)
+		payload, code, st := replayAfterRestart(t, dir, id)
+		if code != http.StatusOK || st.State != StateDone {
+			t.Fatalf("replay: code=%d %+v", code, st)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatal("full-cache replay diverged from the original bytes")
+		}
+		if st.ComputedRuns != 0 {
+			t.Errorf("full-cache replay recomputed %d cells, want 0", st.ComputedRuns)
+		}
+	})
+}
+
+// TestFaultSpecPersistDegradesToResubmit pins the documented contract of
+// a dropped spec persist (FaultSpecPersist): the job still completes and
+// serves its bytes, a restarted daemon cannot replay the id (the spec
+// never landed), and resubmitting the same spec reproduces the original
+// bytes from the surviving cell cache.
+func TestFaultSpecPersistDegradesToResubmit(t *testing.T) {
+	dir := t.TempDir()
+	c, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.New(11).Arm(FaultSpecPersist, faultinject.Rule{P: 1, Count: 1})
+	_, ts := testServer(t, Config{Workers: 2, Cache: c, Faults: plan})
+	st, code := postJob(t, ts, restartSpec, "?wait=1")
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("faulted submit: code=%d %+v", code, st)
+	}
+	want, code := get(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatal("job must complete even when its spec persist is dropped")
+	}
+	if got := plan.Injected(FaultSpecPersist); got != 1 {
+		t.Fatalf("FaultSpecPersist injected %d times, want 1", got)
+	}
+
+	// Restart: the id is unknown (no spec on disk) — honest 404, not a
+	// wrong-bytes answer.
+	c2, err := runcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := testServer(t, Config{Workers: 2, Cache: c2})
+	if _, code := get(t, ts2.URL+"/v1/jobs/"+st.ID+"/result"); code != http.StatusNotFound {
+		t.Fatalf("unpersisted job replayed with status %d, want 404", code)
+	}
+
+	// Resubmitting the spec re-derives the same id, replays the cells,
+	// persists the spec this time, and serves identical bytes.
+	st2, code := postJob(t, ts2, restartSpec, "?wait=1")
+	if code != http.StatusOK || st2.ID != st.ID {
+		t.Fatalf("resubmit: code=%d id=%s want %s", code, st2.ID, st.ID)
+	}
+	got, _ := get(t, ts2.URL+"/v1/jobs/"+st2.ID+"/result")
+	if !bytes.Equal(got, want) {
+		t.Fatal("resubmitted job diverged from the pre-crash bytes")
+	}
+	if st2.ComputedRuns != 0 {
+		t.Errorf("resubmit recomputed %d cells despite the intact cell cache", st2.ComputedRuns)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "jobs", st.ID+".json")); err != nil {
+		t.Error("resubmitted spec was not persisted")
+	}
+}

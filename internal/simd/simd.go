@@ -15,6 +15,7 @@
 package simd
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -23,11 +24,26 @@ import (
 	"sync"
 
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/runcache"
 	"repro/internal/shard"
+)
+
+// Fault sites injected into the daemon lifecycle (armed through
+// Config.Faults; see internal/faultinject).
+const (
+	// FaultSpecPersist drops a job's spec persist — the crash-shaped
+	// failure where the daemon dies before the spec lands. The job still
+	// runs; it just cannot be replayed by id after a restart, which is
+	// the documented contract of a real persist failure.
+	FaultSpecPersist faultinject.Site = "simd/spec/persist"
+	// FaultStreamDrop cuts a status stream mid-feed (client disconnect,
+	// proxy reset). The job carries on; the client re-attaches or fetches
+	// the result, whose bytes are unaffected.
+	FaultStreamDrop faultinject.Site = "simd/stream/drop"
 )
 
 // Config configures a Server.
@@ -55,6 +71,9 @@ type Config struct {
 	// internal/shard). Jobs with Check set run locally — instrumented
 	// runs never shard — and output stays byte-identical either way.
 	Shard *shard.Pool
+	// Faults arms the daemon-lifecycle fault sites; nil (production)
+	// injects nothing.
+	Faults *faultinject.Plan
 }
 
 // JobSpec is the client-visible experiment specification. Its normalized
@@ -457,6 +476,10 @@ func (s *Server) persistSpec(j *Job) {
 	if dir == "" {
 		return
 	}
+	if s.cfg.Faults.Should(FaultSpecPersist) {
+		s.cfg.Faults.Recovered(FaultSpecPersist)
+		return
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return
 	}
@@ -464,16 +487,31 @@ func (s *Server) persistSpec(j *Job) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(dir, "."+j.ID+".tmp*")
-	if err != nil {
-		return
+	_ = runcache.WriteFileAtomic(filepath.Join(dir, j.ID+".json"), payload)
+}
+
+// Drain blocks until every registered job reaches a terminal state or
+// ctx expires, reporting whether the registry fully drained. Called
+// after the HTTP server stops accepting, so no new jobs race the wait;
+// a drained daemon has persisted every completed cell, and whatever the
+// window cut short is recomputed or replayed byte-identically by the
+// next process.
+func (s *Server) Drain(ctx context.Context) bool {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, st := range s.Jobs() {
+			if j, ok := s.Job(st.ID); ok {
+				j.Wait()
+			}
+		}
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		return false
 	}
-	if _, err := tmp.Write(payload); err == nil && tmp.Close() == nil {
-		os.Rename(tmp.Name(), filepath.Join(dir, j.ID+".json"))
-	} else {
-		tmp.Close()
-	}
-	os.Remove(tmp.Name())
 }
 
 // Replay looks up a persisted spec for an id this process has never seen
